@@ -1,0 +1,186 @@
+// Package repro's benchmarks regenerate every table and figure of the
+// Colza paper's evaluation, one testing.B benchmark per artifact, plus
+// the DESIGN.md ablations. Each benchmark runs the quick-scale variant of
+// the experiment (use cmd/colza-bench for the full-scale runs) and
+// reports headline values as custom metrics.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem -benchtime=1x
+package repro_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"colza/internal/bench"
+	"colza/internal/catalyst"
+)
+
+func init() { catalyst.Register() }
+
+// run executes one registered experiment and returns its table.
+func run(b *testing.B, name string) *bench.Table {
+	b.Helper()
+	e, err := bench.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab, err := e.Run(true)
+	if err != nil {
+		b.Fatalf("%s: %v", name, err)
+	}
+	if len(tab.Rows) == 0 {
+		b.Fatalf("%s: empty table", name)
+	}
+	return tab
+}
+
+// metric parses a numeric cell for ReportMetric.
+func metric(tab *bench.Table, row, col int) float64 {
+	v, err := strconv.ParseFloat(strings.TrimSpace(tab.Rows[row][col]), 64)
+	if err != nil {
+		return -1
+	}
+	return v
+}
+
+func BenchmarkFig1aDWIGrowth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := run(b, "fig1a")
+		last := len(tab.Rows) - 1
+		b.ReportMetric(metric(tab, last, 1), "final_cells")
+		b.ReportMetric(metric(tab, last, 3), "growth_x")
+	}
+}
+
+func BenchmarkFig4Resizing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := run(b, "fig4")
+		var st, el float64
+		for r := range tab.Rows {
+			st += metric(tab, r, 1)
+			el += metric(tab, r, 2)
+		}
+		n := float64(len(tab.Rows))
+		b.ReportMetric(st/n, "static_avg_s")
+		b.ReportMetric(el/n, "elastic_avg_s")
+	}
+}
+
+func BenchmarkTable1P2P(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := run(b, "table1")
+		b.ReportMetric(metric(tab, 0, 1), "cray_8B_ms")
+		b.ReportMetric(metric(tab, 0, 3), "mona_8B_ms")
+		b.ReportMetric(metric(tab, 3, 2), "openmpi_16KiB_ms")
+		b.ReportMetric(metric(tab, 3, 3), "mona_16KiB_ms")
+	}
+}
+
+func BenchmarkTable2Reduce(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := run(b, "table2")
+		last := len(tab.Rows) - 1
+		b.ReportMetric(metric(tab, last, 1), "cray_32KiB_ms")
+		b.ReportMetric(metric(tab, last, 2), "openmpi_32KiB_ms")
+		b.ReportMetric(metric(tab, last, 3), "mona_32KiB_ms")
+	}
+}
+
+func BenchmarkFig5MandelbulbWeak(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := run(b, "fig5")
+		last := len(tab.Rows) - 1
+		b.ReportMetric(metric(tab, last, 1), "mpi_s")
+		b.ReportMetric(metric(tab, last, 2), "mona_s")
+		b.ReportMetric(metric(tab, last, 3), "mona_over_mpi")
+	}
+}
+
+func BenchmarkFig6GrayScottStrong(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := run(b, "fig6")
+		b.ReportMetric(metric(tab, 0, 2), "mona_smallest_s")
+		b.ReportMetric(metric(tab, len(tab.Rows)-1, 2), "mona_largest_s")
+	}
+}
+
+func BenchmarkFig7DWI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := run(b, "fig7")
+		last := len(tab.Rows) - 1
+		b.ReportMetric(metric(tab, 0, 2), "mona_first_iter_s")
+		b.ReportMetric(metric(tab, last, 2), "mona_last_iter_s")
+	}
+}
+
+func BenchmarkFig8Frameworks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := run(b, "fig8")
+		for r, row := range tab.Rows {
+			b.ReportMetric(metric(tab, r, 1), row[0]+"_s")
+		}
+	}
+}
+
+func BenchmarkFig9Elastic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := run(b, "fig9")
+		last := len(tab.Rows) - 1
+		b.ReportMetric(metric(tab, 0, 4), "execute_first_s")
+		b.ReportMetric(metric(tab, last, 4), "execute_last_s")
+		b.ReportMetric(metric(tab, last, 1), "final_servers")
+	}
+}
+
+func BenchmarkFig10DWIElastic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := run(b, "fig10")
+		last := len(tab.Rows) - 1
+		b.ReportMetric(metric(tab, last, 1), "static_small_final_s")
+		b.ReportMetric(metric(tab, last, 2), "static_large_final_s")
+		b.ReportMetric(metric(tab, last, 3), "elastic_final_s")
+	}
+}
+
+func BenchmarkAblationA1TreeShapes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := run(b, "a1")
+		b.ReportMetric(metric(tab, 0, 1), "binomial_us")
+		b.ReportMetric(metric(tab, 0, 3), "flat_us")
+	}
+}
+
+func BenchmarkAblationA2EagerLimit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := run(b, "a2")
+		b.ReportMetric(metric(tab, 1, 2), "sw4KiB_at16KiB_us")
+		b.ReportMetric(metric(tab, 1, 4), "eager_at16KiB_us")
+	}
+}
+
+func BenchmarkAblationA3Compositing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := run(b, "a3")
+		last := len(tab.Rows) - 1
+		b.ReportMetric(metric(tab, last, 1), "tree_ms")
+		b.ReportMetric(metric(tab, last, 2), "bswap_ms")
+	}
+}
+
+func BenchmarkAblationA4BufferCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := run(b, "a4")
+		b.ReportMetric(metric(tab, 0, 3), "overhead_pct")
+	}
+}
+
+func BenchmarkAblationA5GossipPeriod(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := run(b, "a5")
+		b.ReportMetric(metric(tab, 0, 1), "prop_5ms_period_ms")
+		b.ReportMetric(metric(tab, len(tab.Rows)-1, 1), "prop_50ms_period_ms")
+	}
+}

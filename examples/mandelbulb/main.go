@@ -1,0 +1,129 @@
+// Mandelbulb elastic demo: the paper's Figure 9 scenario as a runnable
+// program. The staging area starts with one server and is grown to four
+// while the miniapp iterates; the demo prints the per-call durations
+// (activate / stage / execute / deactivate) so the effects of elasticity
+// are visible: execute time drops as servers join, the join iteration
+// pays the new instance's warm-up, and activate absorbs the membership
+// renegotiation.
+//
+// Run with:
+//
+//	go run ./examples/mandelbulb
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"colza/internal/catalyst"
+	"colza/internal/core"
+	"colza/internal/margo"
+	"colza/internal/na"
+	"colza/internal/sim"
+	"colza/internal/ssg"
+)
+
+const (
+	maxServers = 4
+	iterations = 8
+	growEvery  = 2
+)
+
+func main() {
+	catalyst.Register()
+	net := na.NewInprocNetwork()
+	ssgCfg := ssg.Config{GossipPeriod: 10 * time.Millisecond}
+
+	pcfgJSON, _ := json.Marshal(catalyst.IsoConfig{
+		Field: "value", IsoValues: []float64{8}, Width: 400, Height: 400,
+		ScalarRange: [2]float64{0, 32}, ColorMap: "viridis",
+		EmitImage: true, WarmupKiB: 4096,
+	})
+
+	// One server to begin with.
+	servers := []*core.Server{}
+	addServer := func(bootstrap string) *core.Server {
+		cfg := core.ServerConfig{Bootstrap: bootstrap, SSG: ssgCfg}
+		s, err := core.StartInprocServer(net, fmt.Sprintf("mb-server%d", len(servers)), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		servers = append(servers, s)
+		return s
+	}
+	s0 := addServer("")
+	defer func() {
+		for _, s := range servers {
+			s.Shutdown()
+		}
+	}()
+
+	ep, _ := net.Listen("mb-client")
+	mi := margo.NewInstance(ep)
+	defer mi.Finalize()
+	client := core.NewClient(mi)
+	admin := core.NewAdminClient(mi)
+	if err := admin.CreatePipeline(s0.Addr(), "bulb", catalyst.IsoPipelineType, pcfgJSON); err != nil {
+		log.Fatal(err)
+	}
+
+	h := client.Handle("bulb", s0.Addr())
+	mb := sim.DefaultMandelbulb([3]int{40, 40, 20}, maxServers*2)
+
+	fmt.Println("iter  servers  activate   stage      execute    deactivate")
+	for it := uint64(1); it <= iterations; it++ {
+		// Scale up between iterations, like the paper's job script
+		// periodically launching new Colza daemons.
+		if it > 1 && (int(it)-1)%growEvery == 0 && len(servers) < maxServers {
+			s := addServer(s0.Addr())
+			if err := admin.CreatePipeline(s.Addr(), "bulb", catalyst.IsoPipelineType, pcfgJSON); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("      >> added server %d\n", len(servers)-1)
+		}
+
+		t0 := time.Now()
+		view, err := h.Activate(it)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tAct := time.Since(t0)
+
+		t0 = time.Now()
+		for b := 0; b < mb.Blocks; b++ {
+			block := sim.MandelbulbBlock(mb, b, it)
+			if err := h.Stage(it, sim.MandelbulbMeta(mb, b), block.Encode()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		tStage := time.Since(t0)
+
+		t0 = time.Now()
+		results, err := h.Execute(it)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tExec := time.Since(t0)
+
+		t0 = time.Now()
+		if err := h.Deactivate(it); err != nil {
+			log.Fatal(err)
+		}
+		tDeact := time.Since(t0)
+
+		fmt.Printf("%4d  %7d  %-9s  %-9s  %-9s  %-9s\n",
+			it, len(view.Members), rnd(tAct), rnd(tStage), rnd(tExec), rnd(tDeact))
+		if len(results[0].Image) > 0 {
+			name := fmt.Sprintf("mandelbulb-%02d.png", it)
+			if err := os.WriteFile(name, results[0].Image, 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Println("wrote mandelbulb-XX.png frames")
+}
+
+func rnd(d time.Duration) time.Duration { return d.Round(100 * time.Microsecond) }

@@ -1,0 +1,3 @@
+module colza
+
+go 1.22

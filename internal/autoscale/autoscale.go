@@ -1,0 +1,151 @@
+// Package autoscale implements the paper's future work (2): "enable
+// automatic resizing as a response to performance constraints or
+// optimization targets". The discussion section (IV-B) motivates the
+// policy: for applications whose data complexity grows over time (Deep
+// Water Impact), elasticity should keep the analysis time overlapped with
+// the simulation's iteration time.
+//
+// The Autoscaler is pure decision logic: the caller feeds it the measured
+// pipeline execution time after each iteration and applies the returned
+// action (launching a daemon or sending an admin leave request). Keeping
+// the actuator outside matches the paper's observation that scale-up and
+// scale-down travel different paths (resource manager vs admin RPC).
+package autoscale
+
+import (
+	"fmt"
+	"time"
+)
+
+// Action is the autoscaler's verdict for one observation.
+type Action int
+
+// Possible verdicts.
+const (
+	// Hold keeps the staging area as is.
+	Hold Action = iota
+	// ScaleUp asks for one more server.
+	ScaleUp
+	// ScaleDown asks one server to leave.
+	ScaleDown
+)
+
+func (a Action) String() string {
+	switch a {
+	case ScaleUp:
+		return "scale-up"
+	case ScaleDown:
+		return "scale-down"
+	default:
+		return "hold"
+	}
+}
+
+// Config tunes the policy.
+type Config struct {
+	// Target is the desired pipeline execution time per iteration (the
+	// simulation's iteration time when the goal is full overlap).
+	Target time.Duration
+	// HighWater scales up when execute > Target*HighWater (default 1.0).
+	HighWater float64
+	// LowWater scales down when, even with one server fewer, the
+	// projected time stays below Target*LowWater (default 0.7).
+	LowWater float64
+	// Min and Max bound the staging-area size (defaults 1 and 1<<30).
+	Min, Max int
+	// Cooldown is how many observations to hold after an action, giving
+	// the new configuration time to show its effect — and skipping the
+	// join iteration's warm-up spike (default 2).
+	Cooldown int
+}
+
+func (c Config) withDefaults() Config {
+	if c.HighWater <= 0 {
+		c.HighWater = 1.0
+	}
+	if c.LowWater <= 0 {
+		c.LowWater = 0.7
+	}
+	if c.LowWater >= c.HighWater {
+		c.LowWater = c.HighWater * 0.7
+	}
+	if c.Min < 1 {
+		c.Min = 1
+	}
+	if c.Max <= 0 {
+		c.Max = 1 << 30
+	}
+	if c.Cooldown < 1 {
+		c.Cooldown = 2
+	}
+	return c
+}
+
+// Autoscaler keeps the policy state.
+type Autoscaler struct {
+	cfg      Config
+	sinceAct int
+	history  []obs
+}
+
+type obs struct {
+	servers int
+	secs    float64
+}
+
+// New creates an autoscaler; Target must be positive.
+func New(cfg Config) (*Autoscaler, error) {
+	if cfg.Target <= 0 {
+		return nil, fmt.Errorf("autoscale: Target must be positive")
+	}
+	return &Autoscaler{cfg: cfg.withDefaults(), sinceAct: 1 << 30}, nil
+}
+
+// Observe records one iteration's execute time on the given staging-area
+// size and returns the action to take before the next iteration.
+func (a *Autoscaler) Observe(execTime time.Duration, servers int) Action {
+	a.history = append(a.history, obs{servers: servers, secs: execTime.Seconds()})
+	a.sinceAct++
+	if a.sinceAct < a.cfg.Cooldown {
+		return Hold
+	}
+	target := a.cfg.Target.Seconds()
+	secs := execTime.Seconds()
+	switch {
+	case secs > target*a.cfg.HighWater && servers < a.cfg.Max:
+		a.sinceAct = 0
+		return ScaleUp
+	case servers > a.cfg.Min && a.projected(servers-1) < target*a.cfg.LowWater:
+		a.sinceAct = 0
+		return ScaleDown
+	default:
+		return Hold
+	}
+}
+
+// projected estimates the execution time on n servers from the most
+// recent observation, assuming the parallel part scales with 1/servers
+// (the pipelines are embarrassingly parallel up to compositing).
+func (a *Autoscaler) projected(n int) float64 {
+	if len(a.history) == 0 || n < 1 {
+		return 0
+	}
+	last := a.history[len(a.history)-1]
+	return last.secs * float64(last.servers) / float64(n)
+}
+
+// History returns the recorded (servers, seconds) observations.
+func (a *Autoscaler) History() []struct {
+	Servers int
+	Seconds float64
+} {
+	out := make([]struct {
+		Servers int
+		Seconds float64
+	}, len(a.history))
+	for i, o := range a.history {
+		out[i].Servers = o.servers
+		out[i].Seconds = o.secs
+	}
+	return out
+}

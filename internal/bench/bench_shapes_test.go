@@ -1,0 +1,296 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// These tests run every experiment in quick mode and assert the *shape*
+// claims the paper makes — who wins, what grows, where overheads appear —
+// not absolute numbers.
+
+func cellF(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(tab.Rows[row][col]), 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%d,%d) = %q not a number: %v", tab.ID, row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestFig1aShape(t *testing.T) {
+	tab := Fig1aDataGrowth(true)
+	if len(tab.Rows) < 5 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	first := cellF(t, tab, 0, 1)
+	last := cellF(t, tab, len(tab.Rows)-1, 1)
+	if last < 2*first {
+		t.Fatalf("cells did not grow enough: %v -> %v", first, last)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tab := Table1PointToPoint(true)
+	// Row 0 is 8B: vendor < openmpi < mona < na.
+	v, o, m, n := cellF(t, tab, 0, 1), cellF(t, tab, 0, 2), cellF(t, tab, 0, 3), cellF(t, tab, 0, 4)
+	if !(v < o && o < m && m < n) {
+		t.Fatalf("8B ordering: %v %v %v %v", v, o, m, n)
+	}
+	// Row 3 is 16KiB: mona < openmpi (the crossover), vendor still first.
+	v16, o16, m16 := cellF(t, tab, 3, 1), cellF(t, tab, 3, 2), cellF(t, tab, 3, 3)
+	if !(v16 < m16 && m16 < o16) {
+		t.Fatalf("16KiB crossover: vendor=%v openmpi=%v mona=%v", v16, o16, m16)
+	}
+	if tab.Rows[3][4] != "-" {
+		t.Fatal("NA must be dash above 2KiB")
+	}
+	t.Log("\n" + tab.String())
+}
+
+func TestTable2Shape(t *testing.T) {
+	tab := Table2Reduce(true)
+	// Last row (32KiB): vendor < mona << openmpi.
+	last := len(tab.Rows) - 1
+	v, o, m := cellF(t, tab, last, 1), cellF(t, tab, last, 2), cellF(t, tab, last, 3)
+	if !(v < m && m < o) {
+		t.Fatalf("32KiB ordering: vendor=%v openmpi=%v mona=%v", v, o, m)
+	}
+	if o < 20*v {
+		t.Fatalf("openmpi collapse missing: %v vs vendor %v", o, v)
+	}
+	if m > 10*v {
+		t.Fatalf("mona should stay within ~10x of vendor: %v vs %v", m, v)
+	}
+	t.Log("\n" + tab.String())
+}
+
+func TestFig4Shape(t *testing.T) {
+	tab := Fig4Resizing(true)
+	var staticSum, elasticSum float64
+	var staticMax, elasticMax float64
+	for i := range tab.Rows {
+		s, e := cellF(t, tab, i, 1), cellF(t, tab, i, 2)
+		staticSum += s
+		elasticSum += e
+		if s > staticMax {
+			staticMax = s
+		}
+		if e > elasticMax {
+			elasticMax = e
+		}
+	}
+	n := float64(len(tab.Rows))
+	if staticSum/n < 1.5*(elasticSum/n) {
+		t.Fatalf("static avg %.1f should clearly exceed elastic avg %.1f", staticSum/n, elasticSum/n)
+	}
+	t.Log("\n" + tab.String())
+}
+
+func TestFig5Shape(t *testing.T) {
+	tab, err := Fig5MandelbulbWeak(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weak scaling: per-server work constant, so the largest scale should
+	// not blow up versus the smallest (allow generous slack: these are
+	// wall-clock measurements on shared CPUs).
+	for i := range tab.Rows {
+		ratio := cellF(t, tab, i, 3)
+		if ratio > 4 {
+			t.Fatalf("row %d: mona/mpi ratio %.2f too large; MoNA overhead story broken", i, ratio)
+		}
+	}
+	t.Log("\n" + tab.String())
+}
+
+func TestFig6Shape(t *testing.T) {
+	tab, err := Fig6GrayScottStrong(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strong scaling: more servers must not be dramatically slower.
+	first := cellF(t, tab, 0, 2)
+	last := cellF(t, tab, len(tab.Rows)-1, 2)
+	if last > 1.6*first {
+		t.Fatalf("strong scaling inverted: %v -> %v", first, last)
+	}
+	t.Log("\n" + tab.String())
+}
+
+func TestFig7Shape(t *testing.T) {
+	tab, err := Fig7DWIScaling(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Later iterations cost more than early ones at the smallest scale
+	// (column 2 = mona at the smallest scale... column 1 = mpi smallest).
+	early := cellF(t, tab, 0, 1)
+	late := cellF(t, tab, len(tab.Rows)-1, 1)
+	if late <= early {
+		t.Fatalf("DWI cost did not grow: %v -> %v", early, late)
+	}
+	t.Log("\n" + tab.String())
+}
+
+func TestFig8Shape(t *testing.T) {
+	tab, err := Fig8Frameworks(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for i, row := range tab.Rows {
+		vals[row[0]] = cellF(t, tab, i, 1)
+	}
+	// The paper's ordering: Colza beats Damaris under both layers;
+	// DataSpaces is close to Colza+MPI.
+	if vals["damaris"] <= vals["colza+mona"] {
+		t.Fatalf("damaris (%.3f) should be slower than colza+mona (%.3f)", vals["damaris"], vals["colza+mona"])
+	}
+	if vals["damaris"] <= vals["colza+mpi"] {
+		t.Fatalf("damaris (%.3f) should be slower than colza+mpi (%.3f)", vals["damaris"], vals["colza+mpi"])
+	}
+	if vals["dataspaces"] > 2.5*vals["colza+mpi"] {
+		t.Fatalf("dataspaces (%.3f) should be near colza+mpi (%.3f)", vals["dataspaces"], vals["colza+mpi"])
+	}
+	t.Log("\n" + tab.String())
+}
+
+func TestFig9Shape(t *testing.T) {
+	tab, err := Fig9MandelbulbElastic(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Servers must grow across the run.
+	first := cellF(t, tab, 0, 1)
+	last := cellF(t, tab, len(tab.Rows)-1, 1)
+	if last <= first {
+		t.Fatalf("staging area did not grow: %v -> %v", first, last)
+	}
+	// activate/deactivate overheads are small relative to execute, as the
+	// paper reports (ms vs s regime).
+	for i := range tab.Rows {
+		if cellF(t, tab, i, 5) > cellF(t, tab, i, 4)+0.5 {
+			t.Fatalf("row %d: deactivate slower than execute?", i)
+		}
+	}
+	t.Log("\n" + tab.String())
+}
+
+func TestFig10Shape(t *testing.T) {
+	tab, err := Fig10DWIElastic(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(tab.Rows)
+	// Static small keeps climbing: final iteration much dearer than first.
+	sFirst, sLast := cellF(t, tab, 0, 1), cellF(t, tab, n-1, 1)
+	if sLast <= sFirst {
+		t.Fatalf("static-small cost did not grow: %v -> %v", sFirst, sLast)
+	}
+	// At the end, elastic beats static small (that's the point).
+	eLast := cellF(t, tab, n-1, 3)
+	if eLast >= sLast {
+		t.Fatalf("elastic final (%v) should beat static-small final (%v)", eLast, sLast)
+	}
+	// Elastic ends at the large size.
+	if cellF(t, tab, n-1, 4) <= cellF(t, tab, 0, 4) {
+		t.Fatal("elastic run never grew")
+	}
+	t.Log("\n" + tab.String())
+}
+
+func TestAblationsRun(t *testing.T) {
+	for _, e := range []Experiment{
+		{"a1", "", func(q bool) (*Table, error) { return AblationA1TreeShapes(q), nil }},
+		{"a2", "", func(q bool) (*Table, error) { return AblationA2EagerLimit(q), nil }},
+		{"a4", "", func(q bool) (*Table, error) { return AblationA4BufferCache(q), nil }},
+	} {
+		tab, err := e.Run(true)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s produced no rows", e.Name)
+		}
+	}
+	tab, err := AblationA3Compositing(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("a3 empty")
+	}
+	tab5 := AblationA5GossipPeriod(true)
+	if len(tab5.Rows) != 4 {
+		t.Fatalf("a5 rows = %d", len(tab5.Rows))
+	}
+	// Propagation time grows with the gossip period.
+	if cellF(t, tab5, 3, 1) <= cellF(t, tab5, 0, 1) {
+		t.Fatalf("a5: propagation at 50ms period (%v) should exceed 5ms period (%v)",
+			cellF(t, tab5, 3, 1), cellF(t, tab5, 0, 1))
+	}
+	_ = tab
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 17 {
+		t.Fatalf("%d experiments registered, want 17", len(all))
+	}
+	if _, err := Lookup("fig9"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown lookup should fail")
+	}
+}
+
+// The autoscale extension must actually grow the staging area as the DWI
+// workload grows, and end cheaper than a never-scaled run would project.
+func TestExtAutoscaleShape(t *testing.T) {
+	tab, err := ExtAutoscale(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(tab.Rows)
+	first := cellF(t, tab, 0, 1)
+	last := cellF(t, tab, n-1, 1)
+	if last <= first {
+		t.Fatalf("autoscaler never grew the staging area (%v -> %v)", first, last)
+	}
+	ups := 0
+	for _, row := range tab.Rows {
+		if row[3] == "scale-up" {
+			ups++
+		}
+	}
+	if ups < 2 {
+		t.Fatalf("only %d scale-ups over the run", ups)
+	}
+	t.Log("\n" + tab.String())
+}
+
+// Shared memory must beat the inter-node link at every size (footnote 12).
+func TestExtSharedMemoryShape(t *testing.T) {
+	tab, err := ExtSharedMemory(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		if cellF(t, tab, i, 3) <= 1 {
+			t.Fatalf("row %d: inter/intra ratio %v, want > 1", i, cellF(t, tab, i, 3))
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{ID: "x", Title: "t", Columns: []string{"a", "b,comma"}}
+	tab.Add("v1", `quote"inside`)
+	csv := tab.CSV()
+	want := "a,\"b,comma\"\nv1,\"quote\"\"inside\"\n"
+	if csv != want {
+		t.Fatalf("csv = %q, want %q", csv, want)
+	}
+}

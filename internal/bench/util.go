@@ -1,0 +1,19 @@
+package bench
+
+import (
+	"colza/internal/margo"
+	"colza/internal/na"
+)
+
+// naNetwork creates a fresh in-process network (kept behind a helper so
+// experiment code reads uniformly).
+func naNetwork() *na.InprocNetwork { return na.NewInprocNetwork() }
+
+// newMargoOn starts a Margo instance on the network under the given name.
+func newMargoOn(net *na.InprocNetwork, name string) (*margo.Instance, error) {
+	ep, err := net.Listen(name)
+	if err != nil {
+		return nil, err
+	}
+	return margo.NewInstance(ep), nil
+}

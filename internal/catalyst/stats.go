@@ -1,0 +1,180 @@
+package catalyst
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+
+	"colza/internal/collectives"
+	"colza/internal/core"
+	"colza/internal/vtk"
+)
+
+// StatsPipelineType is the registered name of the field-statistics
+// pipeline.
+const StatsPipelineType = "catalyst/stats"
+
+// StatsConfig configures the statistics pipeline.
+type StatsConfig struct {
+	Field string `json:"field"`
+}
+
+// StatsPipeline is the paper's Section II-C example made concrete: "even
+// a pipeline as simple as computing an average across the data received
+// by multiple staging servers needs a reduction operation". It stages
+// ImageData blocks and, at execute, allreduces (sum, count, min, max) of
+// the configured field over the iteration's MoNA communicator, returning
+// the global mean and extrema from every instance.
+type StatsPipeline struct {
+	cfg StatsConfig
+
+	mu     sync.Mutex
+	ctx    core.IterationContext
+	active bool
+	staged map[uint64][]*vtk.ImageData
+}
+
+var _ core.Backend = (*StatsPipeline)(nil)
+
+func registerStats() {
+	core.RegisterPipelineType(StatsPipelineType, func(cfg json.RawMessage) (core.Backend, error) {
+		var c StatsConfig
+		if len(cfg) > 0 {
+			if err := json.Unmarshal(cfg, &c); err != nil {
+				return nil, fmt.Errorf("catalyst: stats config: %w", err)
+			}
+		}
+		if c.Field == "" {
+			c.Field = "value"
+		}
+		return &StatsPipeline{cfg: c}, nil
+	})
+}
+
+// Activate pins the iteration context.
+func (p *StatsPipeline) Activate(ctx core.IterationContext) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.active {
+		return fmt.Errorf("catalyst: stats pipeline already active")
+	}
+	p.ctx = ctx
+	p.active = true
+	if p.staged == nil {
+		p.staged = make(map[uint64][]*vtk.ImageData)
+	}
+	return nil
+}
+
+// Stage decodes and retains one ImageData block.
+func (p *StatsPipeline) Stage(it uint64, meta core.BlockMeta, data []byte) error {
+	if meta.Type != "" && meta.Type != "imagedata" {
+		return fmt.Errorf("catalyst: stats pipeline cannot stage %q blocks", meta.Type)
+	}
+	img, err := vtk.DecodeImageData(data)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.active || p.ctx.Iteration != it {
+		return fmt.Errorf("catalyst: stage outside active iteration %d", it)
+	}
+	p.staged[it] = append(p.staged[it], img)
+	return nil
+}
+
+// Execute computes global field statistics across the staging area.
+func (p *StatsPipeline) Execute(it uint64) (core.ExecResult, error) {
+	p.mu.Lock()
+	if !p.active || p.ctx.Iteration != it {
+		p.mu.Unlock()
+		return core.ExecResult{}, fmt.Errorf("catalyst: execute outside active iteration %d", it)
+	}
+	ctx := p.ctx
+	blocks := p.staged[it]
+	field := p.cfg.Field
+	p.mu.Unlock()
+
+	// Local moments.
+	var sum float64
+	var count int64
+	lo := float32(math.Inf(1))
+	hi := float32(math.Inf(-1))
+	for _, blk := range blocks {
+		arr, err := blk.PointArray(field)
+		if err != nil {
+			return core.ExecResult{}, err
+		}
+		for _, v := range arr.Data {
+			sum += float64(v)
+			count++
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+
+	// Global reduction: [sum f64 | count i64] summed, extrema min/maxed.
+	acc := make([]byte, 16)
+	binary.LittleEndian.PutUint64(acc, math.Float64bits(sum))
+	binary.LittleEndian.PutUint64(acc[8:], uint64(count))
+	sums, err := ctx.Comm.AllReduce(6200, acc, func(a, in []byte) []byte {
+		collectives.SumFloat64(a[:8], in[:8])
+		collectives.SumInt64(a[8:], in[8:])
+		return a
+	})
+	if err != nil {
+		return core.ExecResult{}, err
+	}
+	loBuf := make([]byte, 4)
+	binary.LittleEndian.PutUint32(loBuf, math.Float32bits(lo))
+	loOut, err := ctx.Comm.AllReduce(6201, loBuf, collectives.MinFloat32)
+	if err != nil {
+		return core.ExecResult{}, err
+	}
+	hiBuf := make([]byte, 4)
+	binary.LittleEndian.PutUint32(hiBuf, math.Float32bits(hi))
+	hiOut, err := ctx.Comm.AllReduce(6202, hiBuf, collectives.MaxFloat32)
+	if err != nil {
+		return core.ExecResult{}, err
+	}
+
+	gSum := math.Float64frombits(binary.LittleEndian.Uint64(sums))
+	gCount := int64(binary.LittleEndian.Uint64(sums[8:]))
+	mean := 0.0
+	if gCount > 0 {
+		mean = gSum / float64(gCount)
+	}
+	return core.ExecResult{Summary: map[string]float64{
+		"count": float64(gCount),
+		"mean":  mean,
+		"min":   float64(math.Float32frombits(binary.LittleEndian.Uint32(loOut))),
+		"max":   float64(math.Float32frombits(binary.LittleEndian.Uint32(hiOut))),
+		"rank":  float64(ctx.Rank),
+		"size":  float64(ctx.Size),
+	}}, nil
+}
+
+// Deactivate releases staged data.
+func (p *StatsPipeline) Deactivate(it uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.staged, it)
+	p.active = false
+	return nil
+}
+
+// Destroy drops all state.
+func (p *StatsPipeline) Destroy() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.staged = nil
+	p.active = false
+	return nil
+}

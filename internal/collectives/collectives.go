@@ -1,0 +1,359 @@
+// Package collectives implements the tree-based collective communication
+// algorithms used by MoNA (and by the static mini-MPI comparator) on top of
+// any point-to-point substrate. The Colza paper describes MoNA's collectives
+// as "typical tree-based algorithms ... taking inspiration from the MPICH
+// source code"; the binomial broadcast and reduce here follow the MPICH
+// formulations. Flat (linear) and k-ary variants exist both as ablations
+// (DESIGN.md A1) and to model OpenMPI's collapse onto a poor algorithm for
+// large messages at scale (Table II).
+package collectives
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PT2PT is the point-to-point layer a collective algorithm runs over. Rank
+// identifies the caller within a fixed, ordered group of Size processes.
+// Send and Recv match on (peer, tag); Recv blocks until a matching message
+// arrives.
+type PT2PT interface {
+	Rank() int
+	Size() int
+	Send(dst, tag int, data []byte) error
+	Recv(src, tag int) ([]byte, error)
+}
+
+// Kind selects the tree shape used by a collective.
+type Kind int
+
+const (
+	// Binomial is the MPICH-style binomial tree (default).
+	Binomial Kind = iota
+	// Flat is the linear algorithm: the root talks to every other rank
+	// directly, one at a time.
+	Flat
+	// KAry is a k-ary tree; K must be >= 2.
+	KAry
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Binomial:
+		return "binomial"
+	case Flat:
+		return "flat"
+	case KAry:
+		return "kary"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Algorithm selects the collective algorithm variant.
+type Algorithm struct {
+	Kind Kind
+	K    int // fan-out for KAry
+}
+
+// DefaultAlgorithm is the binomial tree used unless a caller overrides it.
+var DefaultAlgorithm = Algorithm{Kind: Binomial}
+
+var errRoot = errors.New("collectives: root out of range")
+
+// Bcast distributes data from root to every rank. On non-root ranks the
+// input data is ignored and the received payload is returned; on the root
+// the input is returned unchanged.
+func Bcast(p PT2PT, root, tag int, data []byte, algo Algorithm) ([]byte, error) {
+	size := p.Size()
+	if root < 0 || root >= size {
+		return nil, errRoot
+	}
+	if size == 1 {
+		return data, nil
+	}
+	switch algo.Kind {
+	case Flat:
+		return bcastFlat(p, root, tag, data)
+	case KAry:
+		return bcastKAry(p, root, tag, data, algo.K)
+	default:
+		return bcastBinomial(p, root, tag, data)
+	}
+}
+
+func bcastBinomial(p PT2PT, root, tag int, data []byte) ([]byte, error) {
+	size, rank := p.Size(), p.Rank()
+	rel := (rank - root + size) % size
+	mask := 1
+	for mask < size {
+		if rel&mask != 0 {
+			src := rank - mask
+			if src < 0 {
+				src += size
+			}
+			got, err := p.Recv(src, tag)
+			if err != nil {
+				return nil, err
+			}
+			data = got
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < size {
+			dst := rank + mask
+			if dst >= size {
+				dst -= size
+			}
+			if err := p.Send(dst, tag, data); err != nil {
+				return nil, err
+			}
+		}
+		mask >>= 1
+	}
+	return data, nil
+}
+
+func bcastFlat(p PT2PT, root, tag int, data []byte) ([]byte, error) {
+	size, rank := p.Size(), p.Rank()
+	if rank == root {
+		for r := 0; r < size; r++ {
+			if r == root {
+				continue
+			}
+			if err := p.Send(r, tag, data); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	return p.Recv(root, tag)
+}
+
+func bcastKAry(p PT2PT, root, tag int, data []byte, k int) ([]byte, error) {
+	if k < 2 {
+		k = 2
+	}
+	size, rank := p.Size(), p.Rank()
+	rel := (rank - root + size) % size
+	if rel != 0 {
+		parent := ((rel-1)/k + root) % size
+		got, err := p.Recv(parent, tag)
+		if err != nil {
+			return nil, err
+		}
+		data = got
+	}
+	for c := 1; c <= k; c++ {
+		child := rel*k + c
+		if child >= size {
+			break
+		}
+		dst := (child + root) % size
+		if err := p.Send(dst, tag, data); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// Op folds an incoming contribution into an accumulator. Implementations
+// may modify acc in place and must return the folded result; acc and in are
+// same-length buffers.
+type Op func(acc, in []byte) []byte
+
+// Reduce folds the data contributed by every rank with op; the result is
+// returned on root (other ranks return nil). The operation is assumed
+// commutative and associative, as in the paper's binary-tree reduction.
+func Reduce(p PT2PT, root, tag int, data []byte, op Op, algo Algorithm) ([]byte, error) {
+	size := p.Size()
+	if root < 0 || root >= size {
+		return nil, errRoot
+	}
+	if size == 1 {
+		return data, nil
+	}
+	switch algo.Kind {
+	case Flat:
+		return reduceFlat(p, root, tag, data, op)
+	case KAry:
+		return reduceKAry(p, root, tag, data, op, algo.K)
+	default:
+		return reduceBinomial(p, root, tag, data, op)
+	}
+}
+
+func reduceBinomial(p PT2PT, root, tag int, data []byte, op Op) ([]byte, error) {
+	size, rank := p.Size(), p.Rank()
+	rel := (rank - root + size) % size
+	acc := append([]byte(nil), data...)
+	mask := 1
+	for mask < size {
+		if rel&mask == 0 {
+			srcRel := rel | mask
+			if srcRel < size {
+				src := (srcRel + root) % size
+				got, err := p.Recv(src, tag)
+				if err != nil {
+					return nil, err
+				}
+				acc = op(acc, got)
+			}
+		} else {
+			dstRel := rel &^ mask
+			dst := (dstRel + root) % size
+			if err := p.Send(dst, tag, acc); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		mask <<= 1
+	}
+	return acc, nil
+}
+
+func reduceFlat(p PT2PT, root, tag int, data []byte, op Op) ([]byte, error) {
+	size, rank := p.Size(), p.Rank()
+	if rank != root {
+		return nil, p.Send(root, tag, data)
+	}
+	acc := append([]byte(nil), data...)
+	for r := 0; r < size; r++ {
+		if r == root {
+			continue
+		}
+		got, err := p.Recv(r, tag)
+		if err != nil {
+			return nil, err
+		}
+		acc = op(acc, got)
+	}
+	return acc, nil
+}
+
+func reduceKAry(p PT2PT, root, tag int, data []byte, op Op, k int) ([]byte, error) {
+	if k < 2 {
+		k = 2
+	}
+	size, rank := p.Size(), p.Rank()
+	rel := (rank - root + size) % size
+	acc := append([]byte(nil), data...)
+	for c := 1; c <= k; c++ {
+		child := rel*k + c
+		if child >= size {
+			break
+		}
+		src := (child + root) % size
+		got, err := p.Recv(src, tag)
+		if err != nil {
+			return nil, err
+		}
+		acc = op(acc, got)
+	}
+	if rel != 0 {
+		parent := ((rel-1)/k + root) % size
+		return nil, p.Send(parent, tag, acc)
+	}
+	return acc, nil
+}
+
+// Gather collects each rank's data at root. The root returns one slice per
+// rank, indexed by rank; other ranks return nil.
+func Gather(p PT2PT, root, tag int, data []byte) ([][]byte, error) {
+	size, rank := p.Size(), p.Rank()
+	if root < 0 || root >= size {
+		return nil, errRoot
+	}
+	if rank != root {
+		return nil, p.Send(root, tag, data)
+	}
+	out := make([][]byte, size)
+	out[root] = data
+	for r := 0; r < size; r++ {
+		if r == root {
+			continue
+		}
+		got, err := p.Recv(r, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = got
+	}
+	return out, nil
+}
+
+// Scatter distributes parts[i] to rank i from root and returns the caller's
+// part. Only the root consults parts.
+func Scatter(p PT2PT, root, tag int, parts [][]byte) ([]byte, error) {
+	size, rank := p.Size(), p.Rank()
+	if root < 0 || root >= size {
+		return nil, errRoot
+	}
+	if rank == root {
+		if len(parts) != size {
+			return nil, fmt.Errorf("collectives: scatter needs %d parts, got %d", size, len(parts))
+		}
+		for r := 0; r < size; r++ {
+			if r == root {
+				continue
+			}
+			if err := p.Send(r, tag, parts[r]); err != nil {
+				return nil, err
+			}
+		}
+		return parts[root], nil
+	}
+	return p.Recv(root, tag)
+}
+
+// AllGather returns every rank's contribution on every rank (gather to rank
+// 0 followed by a broadcast of the framed concatenation).
+func AllGather(p PT2PT, tag int, data []byte, algo Algorithm) ([][]byte, error) {
+	gathered, err := Gather(p, 0, tag, data)
+	if err != nil {
+		return nil, err
+	}
+	var frame []byte
+	if p.Rank() == 0 {
+		frame = EncodeSlices(gathered)
+	}
+	frame, err = Bcast(p, 0, tag+1, frame, algo)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSlices(frame)
+}
+
+// AllReduce folds every rank's data and returns the result everywhere
+// (reduce to rank 0 followed by a broadcast).
+func AllReduce(p PT2PT, tag int, data []byte, op Op, algo Algorithm) ([]byte, error) {
+	acc, err := Reduce(p, 0, tag, data, op, algo)
+	if err != nil {
+		return nil, err
+	}
+	return Bcast(p, 0, tag+1, acc, algo)
+}
+
+// Barrier blocks until every rank has entered it, using the dissemination
+// algorithm (ceil(log2(size)) rounds of shifted exchanges).
+func Barrier(p PT2PT, tag int) error {
+	size, rank := p.Size(), p.Rank()
+	if size == 1 {
+		return nil
+	}
+	for dist := 1; dist < size; dist <<= 1 {
+		dst := (rank + dist) % size
+		src := (rank - dist + size) % size
+		if err := p.Send(dst, tag, nil); err != nil {
+			return err
+		}
+		if _, err := p.Recv(src, tag); err != nil {
+			return err
+		}
+		tag++
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package comm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+var errTest = errors.New("queue destroyed for test")
+
+func TestMatchQueueBasicMatching(t *testing.T) {
+	q := NewMatchQueue()
+	q.Push(Msg{Src: 1, Tag: 5, Data: []byte("a")})
+	q.Push(Msg{Src: 2, Tag: 5, Data: []byte("b")})
+	q.Push(Msg{Src: 1, Tag: 6, Data: []byte("c")})
+	got, err := q.Recv(1, 6)
+	if err != nil || string(got) != "c" {
+		t.Fatalf("got %q err %v", got, err)
+	}
+	got, _ = q.Recv(2, 5)
+	if string(got) != "b" {
+		t.Fatalf("got %q", got)
+	}
+	got, _ = q.Recv(1, 5)
+	if string(got) != "a" {
+		t.Fatalf("got %q", got)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("len = %d", q.Len())
+	}
+}
+
+func TestMatchQueueFIFOWithinSameKey(t *testing.T) {
+	q := NewMatchQueue()
+	for i := 0; i < 5; i++ {
+		q.Push(Msg{Src: 0, Tag: 1, Data: []byte{byte(i)}})
+	}
+	for i := 0; i < 5; i++ {
+		got, err := q.Recv(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("got %d want %d (FIFO broken)", got[0], i)
+		}
+	}
+}
+
+func TestMatchQueueBlocksUntilPush(t *testing.T) {
+	q := NewMatchQueue()
+	done := make(chan []byte, 1)
+	go func() {
+		d, _ := q.Recv(3, 9)
+		done <- d
+	}()
+	q.Push(Msg{Src: 3, Tag: 9, Data: []byte("late")})
+	if got := <-done; string(got) != "late" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMatchQueueDestroyUnblocks(t *testing.T) {
+	q := NewMatchQueue()
+	errCh := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := q.Recv(1, 1)
+			errCh <- err
+		}()
+	}
+	q.Destroy(errTest)
+	for i := 0; i < 2; i++ {
+		if err := <-errCh; !errors.Is(err, errTest) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	// Pushes after destroy are dropped; future Recv returns the error.
+	q.Push(Msg{Src: 1, Tag: 1})
+	if _, err := q.Recv(1, 1); !errors.Is(err, errTest) {
+		t.Fatalf("err after destroy = %v", err)
+	}
+}
+
+func TestMatchQueueConcurrentProducersConsumers(t *testing.T) {
+	q := NewMatchQueue()
+	const producers, per = 4, 100
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Push(Msg{Src: p, Tag: 7, Data: []byte{byte(i)}})
+			}
+		}(p)
+	}
+	var cg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		cg.Add(1)
+		go func(p int) {
+			defer cg.Done()
+			for i := 0; i < per; i++ {
+				got, err := q.Recv(p, 7)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got[0] != byte(i) {
+					t.Errorf("src %d: got %d want %d", p, got[0], i)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	cg.Wait()
+	if q.Len() != 0 {
+		t.Fatalf("leftover %d messages", q.Len())
+	}
+}
+
+// Property: any interleaving of pushes is fully drained by matching
+// receives, preserving per-key order.
+func TestQuickMatchQueueDrains(t *testing.T) {
+	f := func(keys []uint8) bool {
+		if len(keys) > 64 {
+			keys = keys[:64]
+		}
+		q := NewMatchQueue()
+		seq := map[int]int{}
+		for _, k := range keys {
+			src := int(k % 3)
+			q.Push(Msg{Src: src, Tag: 0, Data: []byte{byte(seq[src])}})
+			seq[src]++
+		}
+		// Drain in a different global order than pushed: by key group.
+		next := map[int]int{}
+		for src := 0; src < 3; src++ {
+			for i := 0; i < seq[src]; i++ {
+				got, err := q.Recv(src, 0)
+				if err != nil || got[0] != byte(next[src]) {
+					return false
+				}
+				next[src]++
+			}
+		}
+		return q.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

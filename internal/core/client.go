@@ -1,0 +1,530 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"colza/internal/margo"
+)
+
+// ErrActivateFailed is returned when the activate 2PC cannot reach
+// agreement after retries (e.g. persistent membership churn).
+var ErrActivateFailed = errors.New("colza: activate could not reach agreement")
+
+// Client is a simulation-side connection to the staging area. One Client
+// serves any number of pipeline handles; it caches server info lookups.
+type Client struct {
+	mi *margo.Instance
+
+	mu        sync.Mutex
+	infoCache map[string]ServerInfo
+}
+
+// NewClient creates a client on the given Margo instance.
+func NewClient(mi *margo.Instance) *Client {
+	return &Client{mi: mi, infoCache: make(map[string]ServerInfo)}
+}
+
+// Margo exposes the client's instance (for bulk registration).
+func (c *Client) Margo() *margo.Instance { return c.mi }
+
+// serverInfo resolves the Mona address of a server, with caching.
+func (c *Client) serverInfo(rpcAddr string, timeout time.Duration) (ServerInfo, error) {
+	c.mu.Lock()
+	if si, ok := c.infoCache[rpcAddr]; ok {
+		c.mu.Unlock()
+		return si, nil
+	}
+	c.mu.Unlock()
+	raw, err := c.mi.CallProvider(rpcAddr, ProviderID, "info", nil, timeout)
+	if err != nil {
+		return ServerInfo{}, err
+	}
+	var im infoMsg
+	if err := json.Unmarshal(raw, &im); err != nil {
+		return ServerInfo{}, err
+	}
+	si := ServerInfo{RPC: im.RPC, Mona: im.Mona}
+	c.mu.Lock()
+	c.infoCache[rpcAddr] = si
+	c.mu.Unlock()
+	return si, nil
+}
+
+// FetchView asks contact for the current membership and resolves every
+// member's address pair. The returned view is normalized; Epoch is zero
+// (set during activation).
+func (c *Client) FetchView(contact string, timeout time.Duration) (MemberView, error) {
+	raw, err := c.mi.CallProvider(contact, ProviderID, "members", nil, timeout)
+	if err != nil {
+		return MemberView{}, fmt.Errorf("colza: fetching members from %s: %w", contact, err)
+	}
+	var ms membersMsg
+	if err := json.Unmarshal(raw, &ms); err != nil {
+		return MemberView{}, err
+	}
+	var v MemberView
+	for _, addr := range ms.Members {
+		si, err := c.serverInfo(addr, timeout)
+		if err != nil {
+			// Member unreachable right now (likely just died); skip it —
+			// the 2PC will validate whatever view we propose.
+			continue
+		}
+		v.Members = append(v.Members, si)
+	}
+	if len(v.Members) == 0 {
+		return MemberView{}, fmt.Errorf("colza: no reachable servers via %s", contact)
+	}
+	v.Normalize()
+	return v, nil
+}
+
+// PlacementPolicy selects the server rank that receives a staged block.
+type PlacementPolicy func(meta BlockMeta, servers int) int
+
+// DefaultPlacement is the paper's default: block id modulo server count.
+func DefaultPlacement(meta BlockMeta, servers int) int {
+	if servers <= 0 {
+		return 0
+	}
+	id := meta.BlockID
+	if id < 0 {
+		id = -id
+	}
+	return id % servers
+}
+
+// RangePlacement assigns contiguous block-id ranges to servers (block ids
+// in [0, totalBlocks) split into equal chunks) — keeps spatially adjacent
+// blocks together, which helps pipelines whose work is neighborhood-local.
+func RangePlacement(totalBlocks int) PlacementPolicy {
+	return func(meta BlockMeta, servers int) int {
+		if servers <= 0 || totalBlocks <= 0 {
+			return 0
+		}
+		id := meta.BlockID
+		if id < 0 {
+			id = 0
+		}
+		if id >= totalBlocks {
+			id = totalBlocks - 1
+		}
+		per := (totalBlocks + servers - 1) / servers
+		r := id / per
+		if r >= servers {
+			r = servers - 1
+		}
+		return r
+	}
+}
+
+// FieldHashPlacement routes by (field, block id) hash — spreads multiple
+// fields of the same block across servers.
+func FieldHashPlacement(meta BlockMeta, servers int) int {
+	if servers <= 0 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for _, b := range []byte(meta.Field) {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	h = (h ^ uint64(uint32(meta.BlockID))) * 1099511628211
+	return int(h % uint64(servers))
+}
+
+// DistributedPipelineHandle references one pipeline instance on every
+// server of the staging area (the paper's distributed pipeline handle).
+// The driver rank calls Activate/Execute/Deactivate; every client rank may
+// call Stage. Non-driver ranks receive the frozen view via SetView.
+type DistributedPipelineHandle struct {
+	c        *Client
+	pipeline string
+	contact  string
+
+	mu        sync.Mutex
+	view      MemberView
+	placement PlacementPolicy
+	timeout   time.Duration
+	retries   int
+}
+
+// Handle creates a distributed handle on pipeline, using contact (any
+// server address) to discover membership.
+func (c *Client) Handle(pipeline, contact string) *DistributedPipelineHandle {
+	return &DistributedPipelineHandle{
+		c:         c,
+		pipeline:  pipeline,
+		contact:   contact,
+		placement: DefaultPlacement,
+		timeout:   10 * time.Second,
+		retries:   8,
+	}
+}
+
+// SetPlacement overrides the stage-target selection policy.
+func (h *DistributedPipelineHandle) SetPlacement(p PlacementPolicy) {
+	h.mu.Lock()
+	h.placement = p
+	h.mu.Unlock()
+}
+
+// SetTimeout sets the per-RPC timeout.
+func (h *DistributedPipelineHandle) SetTimeout(d time.Duration) {
+	h.mu.Lock()
+	h.timeout = d
+	h.mu.Unlock()
+}
+
+// View returns the currently pinned member view.
+func (h *DistributedPipelineHandle) View() MemberView {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.view
+}
+
+// SetView installs a view obtained out of band (how non-driver simulation
+// ranks learn the frozen view after the driver's Activate).
+func (h *DistributedPipelineHandle) SetView(v MemberView) {
+	h.mu.Lock()
+	h.view = v
+	h.mu.Unlock()
+}
+
+// Pipeline returns the pipeline name.
+func (h *DistributedPipelineHandle) Pipeline() string { return h.pipeline }
+
+// broadcast calls an RPC on every member of the view concurrently and
+// collects results in rank order.
+func (h *DistributedPipelineHandle) broadcast(view MemberView, rpc string, payload []byte, timeout time.Duration) ([][]byte, error) {
+	n := len(view.Members)
+	outs := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, m := range view.Members {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			outs[i], errs[i] = h.c.mi.CallProvider(addr, ProviderID, rpc, payload, timeout)
+		}(i, m.RPC)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return outs, fmt.Errorf("colza: %s on %s: %w", rpc, view.Members[i].RPC, err)
+		}
+	}
+	return outs, nil
+}
+
+// Activate starts iteration it: it runs the two-phase commit that pins a
+// consistent member view across the client and every server, then
+// activates the pipeline instances. It returns the pinned view, which the
+// caller shares with its peer ranks (MemberView.Encode / SetView).
+//
+// If the group has no churn the first attempt succeeds (the paper's
+// "no overhead if the group hasn't changed"); under churn the client
+// refreshes its view and retries.
+func (h *DistributedPipelineHandle) Activate(it uint64) (MemberView, error) {
+	h.mu.Lock()
+	timeout := h.timeout
+	retries := h.retries
+	view := h.view
+	h.mu.Unlock()
+
+	var lastErr error
+	for attempt := 0; attempt < retries; attempt++ {
+		if attempt > 0 || len(view.Members) == 0 {
+			v, err := h.c.FetchView(h.contact, timeout)
+			if err != nil {
+				lastErr = err
+				time.Sleep(10 * time.Millisecond << uint(attempt))
+				continue
+			}
+			view = v
+		}
+		view.Epoch = (it+1)<<8 | uint64(attempt&0xff)
+		if ok, err := h.tryActivate(it, view, timeout); ok {
+			h.mu.Lock()
+			h.view = view
+			h.mu.Unlock()
+			return view, nil
+		} else if err != nil {
+			lastErr = err
+		}
+		// Back off to let gossip converge, then refresh and retry.
+		time.Sleep(10 * time.Millisecond << uint(attempt))
+		view = MemberView{}
+	}
+	return MemberView{}, fmt.Errorf("%w: %v", ErrActivateFailed, lastErr)
+}
+
+// tryActivate performs one prepare/commit round over the proposed view.
+func (h *DistributedPipelineHandle) tryActivate(it uint64, view MemberView, timeout time.Duration) (bool, error) {
+	payload, _ := json.Marshal(prepareMsg{Pipeline: h.pipeline, Iteration: it, View: view})
+	n := len(view.Members)
+	votes := make([]voteMsg, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, m := range view.Members {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			raw, err := h.c.mi.CallProvider(addr, ProviderID, "prepare", payload, timeout)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = json.Unmarshal(raw, &votes[i])
+		}(i, m.RPC)
+	}
+	wg.Wait()
+	allYes := true
+	var reason error
+	for i := range votes {
+		if errs[i] != nil {
+			allYes = false
+			reason = errs[i]
+		} else if !votes[i].Yes {
+			allYes = false
+			reason = fmt.Errorf("colza: %s voted no: %s", view.Members[i].RPC, votes[i].Reason)
+		}
+	}
+	ep, _ := json.Marshal(epochMsg{Pipeline: h.pipeline, Iteration: it, Epoch: view.Epoch})
+	if !allYes {
+		// Abort everywhere, best effort.
+		for _, m := range view.Members {
+			go h.c.mi.CallProvider(m.RPC, ProviderID, "abort", ep, timeout)
+		}
+		return false, reason
+	}
+	if _, err := h.broadcast(view, "commit", ep, timeout); err != nil {
+		// Partial commit: deactivate whatever committed, then retry.
+		for _, m := range view.Members {
+			go h.c.mi.CallProvider(m.RPC, ProviderID, "deactivate", ep, timeout)
+		}
+		return false, err
+	}
+	return true, nil
+}
+
+// Stage exposes data and asks the selected server to pull it. The data
+// buffer must stay unchanged until Stage returns (RDMA semantics); it is
+// not copied on the client side.
+func (h *DistributedPipelineHandle) Stage(it uint64, meta BlockMeta, data []byte) error {
+	h.mu.Lock()
+	view := h.view
+	placement := h.placement
+	timeout := h.timeout
+	h.mu.Unlock()
+	if len(view.Members) == 0 {
+		return fmt.Errorf("colza: stage before activate (no pinned view)")
+	}
+	target := placement(meta, len(view.Members))
+	if target < 0 || target >= len(view.Members) {
+		return fmt.Errorf("colza: placement selected invalid rank %d", target)
+	}
+	cls := h.c.mi.Class()
+	bulk := cls.Expose(data)
+	defer cls.Release(bulk)
+	payload, _ := json.Marshal(stageMsg{Pipeline: h.pipeline, Iteration: it, Meta: meta, Bulk: bulk.Encode()})
+	_, err := h.c.mi.CallProvider(view.Members[target].RPC, ProviderID, "stage", payload, timeout)
+	if err != nil {
+		return fmt.Errorf("colza: stage block %d on %s: %w", meta.BlockID, view.Members[target].RPC, err)
+	}
+	return nil
+}
+
+// Execute triggers the pipeline's analysis on every server and returns the
+// per-rank results. The paper notes this is issued by a single client
+// process and coordinated across the servers.
+func (h *DistributedPipelineHandle) Execute(it uint64) ([]ExecResult, error) {
+	h.mu.Lock()
+	view := h.view
+	timeout := h.timeout
+	h.mu.Unlock()
+	if len(view.Members) == 0 {
+		return nil, fmt.Errorf("colza: execute before activate")
+	}
+	payload, _ := json.Marshal(epochMsg{Pipeline: h.pipeline, Iteration: it, Epoch: view.Epoch})
+	outs, err := h.broadcast(view, "execute", payload, timeout)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]ExecResult, len(outs))
+	for i, raw := range outs {
+		if err := json.Unmarshal(raw, &results[i]); err != nil {
+			return nil, fmt.Errorf("colza: decoding execute result from rank %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// Deactivate completes the iteration everywhere: staged data is released
+// and membership unfrozen, so servers may join and leave again.
+func (h *DistributedPipelineHandle) Deactivate(it uint64) error {
+	h.mu.Lock()
+	view := h.view
+	timeout := h.timeout
+	h.mu.Unlock()
+	if len(view.Members) == 0 {
+		return fmt.Errorf("colza: deactivate before activate")
+	}
+	payload, _ := json.Marshal(epochMsg{Pipeline: h.pipeline, Iteration: it, Epoch: view.Epoch})
+	_, err := h.broadcast(view, "deactivate", payload, timeout)
+	return err
+}
+
+// Async is a handle on a non-blocking handle operation (the paper's
+// non-blocking activate/stage/execute/deactivate variants).
+type Async struct {
+	ch  chan asyncRes
+	res *asyncRes
+}
+
+type asyncRes struct {
+	results []ExecResult
+	view    MemberView
+	err     error
+}
+
+// Wait blocks for completion, returning any execute results.
+func (a *Async) Wait() ([]ExecResult, error) {
+	if a.res == nil {
+		r := <-a.ch
+		a.res = &r
+	}
+	return a.res.results, a.res.err
+}
+
+// View returns the view produced by a non-blocking Activate (after Wait).
+func (a *Async) View() MemberView {
+	if a.res == nil {
+		a.Wait()
+	}
+	return a.res.view
+}
+
+// Test reports completion without blocking.
+func (a *Async) Test() bool {
+	if a.res != nil {
+		return true
+	}
+	select {
+	case r := <-a.ch:
+		a.res = &r
+		return true
+	default:
+		return false
+	}
+}
+
+func asyncRun(fn func() asyncRes) *Async {
+	a := &Async{ch: make(chan asyncRes, 1)}
+	go func() { a.ch <- fn() }()
+	return a
+}
+
+// NBActivate is the non-blocking Activate.
+func (h *DistributedPipelineHandle) NBActivate(it uint64) *Async {
+	return asyncRun(func() asyncRes {
+		v, err := h.Activate(it)
+		return asyncRes{view: v, err: err}
+	})
+}
+
+// NBStage is the non-blocking Stage.
+func (h *DistributedPipelineHandle) NBStage(it uint64, meta BlockMeta, data []byte) *Async {
+	return asyncRun(func() asyncRes { return asyncRes{err: h.Stage(it, meta, data)} })
+}
+
+// NBExecute is the non-blocking Execute; the simulation typically uses
+// this so analysis proceeds in the background while it computes the next
+// iteration.
+func (h *DistributedPipelineHandle) NBExecute(it uint64) *Async {
+	return asyncRun(func() asyncRes {
+		r, err := h.Execute(it)
+		return asyncRes{results: r, err: err}
+	})
+}
+
+// NBDeactivate is the non-blocking Deactivate.
+func (h *DistributedPipelineHandle) NBDeactivate(it uint64) *Async {
+	return asyncRun(func() asyncRes { return asyncRes{err: h.Deactivate(it)} })
+}
+
+// AdminClient drives Colza's separate admin interface: creating and
+// destroying pipelines and asking servers to leave. The paper keeps it
+// distinct from the client library because of the different nature of its
+// functionality (it is used by users, schedulers, or autonomic agents).
+type AdminClient struct {
+	mi      *margo.Instance
+	timeout time.Duration
+}
+
+// NewAdminClient creates an admin client on mi.
+func NewAdminClient(mi *margo.Instance) *AdminClient {
+	return &AdminClient{mi: mi, timeout: 10 * time.Second}
+}
+
+// CreatePipeline instantiates a pipeline of the given registered type on
+// one server.
+func (a *AdminClient) CreatePipeline(serverRPC, name, typeName string, config json.RawMessage) error {
+	payload, _ := json.Marshal(createPipelineMsg{Name: name, Type: typeName, Config: config})
+	_, err := a.mi.CallProvider(serverRPC, AdminID, "create_pipeline", payload, a.timeout)
+	return err
+}
+
+// CreatePipelineEverywhere instantiates the pipeline on every server of a
+// view (parallel pipelines need an instance per staging process).
+func (a *AdminClient) CreatePipelineEverywhere(view MemberView, name, typeName string, config json.RawMessage) error {
+	for _, m := range view.Members {
+		if err := a.CreatePipeline(m.RPC, name, typeName, config); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DestroyPipeline removes a pipeline from one server.
+func (a *AdminClient) DestroyPipeline(serverRPC, name string) error {
+	payload, _ := json.Marshal(nameMsg{Name: name})
+	_, err := a.mi.CallProvider(serverRPC, AdminID, "destroy_pipeline", payload, a.timeout)
+	return err
+}
+
+// ListPipelines lists pipelines instantiated on one server.
+func (a *AdminClient) ListPipelines(serverRPC string) ([]string, error) {
+	raw, err := a.mi.CallProvider(serverRPC, AdminID, "list_pipelines", nil, a.timeout)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ListTypes lists the pipeline types a server can instantiate.
+func (a *AdminClient) ListTypes(serverRPC string) ([]string, error) {
+	raw, err := a.mi.CallProvider(serverRPC, AdminID, "list_types", nil, a.timeout)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RequestLeave asks a server to exit the staging area (scale-down). The
+// server defers its departure while an iteration is active.
+func (a *AdminClient) RequestLeave(serverRPC string) error {
+	_, err := a.mi.CallProvider(serverRPC, AdminID, "leave", nil, a.timeout)
+	return err
+}

@@ -1,0 +1,574 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"colza/internal/margo"
+	"colza/internal/mercury"
+	"colza/internal/mona"
+	"colza/internal/ssg"
+)
+
+// Provider RPC names (provider id "colza") and admin RPC names (provider
+// id "colza-admin").
+const (
+	ProviderID = "colza"
+	AdminID    = "colza-admin"
+)
+
+// Errors surfaced by provider handlers.
+var (
+	// ErrNoSuchPipeline indicates the request names an unknown pipeline.
+	ErrNoSuchPipeline = errors.New("colza: no such pipeline")
+	// ErrNotActive indicates stage/execute/deactivate outside an active
+	// iteration.
+	ErrNotActive = errors.New("colza: pipeline has no active iteration")
+	// ErrBusy indicates an activate conflicts with an iteration in
+	// progress.
+	ErrBusy = errors.New("colza: pipeline already active")
+	// ErrNotPrepared indicates a commit without a matching prepare.
+	ErrNotPrepared = errors.New("colza: commit without matching prepare")
+)
+
+// wire payloads (JSON control plane).
+type prepareMsg struct {
+	Pipeline  string     `json:"p"`
+	Iteration uint64     `json:"it"`
+	View      MemberView `json:"v"`
+}
+type voteMsg struct {
+	Yes    bool   `json:"y"`
+	Reason string `json:"r,omitempty"`
+}
+type epochMsg struct {
+	Pipeline  string `json:"p"`
+	Iteration uint64 `json:"it"`
+	Epoch     uint64 `json:"e"`
+}
+type stageMsg struct {
+	Pipeline  string    `json:"p"`
+	Iteration uint64    `json:"it"`
+	Meta      BlockMeta `json:"m"`
+	Bulk      []byte    `json:"b"` // encoded mercury.Bulk handle
+}
+type createPipelineMsg struct {
+	Name   string          `json:"n"`
+	Type   string          `json:"t"`
+	Config json.RawMessage `json:"c,omitempty"`
+}
+type nameMsg struct {
+	Name string `json:"n"`
+}
+type infoMsg struct {
+	RPC  string `json:"rpc"`
+	Mona string `json:"mona"`
+}
+type membersMsg struct {
+	Members []string `json:"m"`
+}
+
+type preparedState struct {
+	epoch     uint64
+	iteration uint64
+	view      MemberView
+}
+
+type activeState struct {
+	epoch     uint64
+	iteration uint64
+	comm      *mona.Comm
+}
+
+type pipelineSlot struct {
+	name    string
+	backend Backend
+
+	mu       sync.Mutex
+	prepared *preparedState
+	active   *activeState
+}
+
+// Provider hosts pipelines on one staging server and reacts to membership
+// changes. It registers the colza and colza-admin RPCs on its Margo
+// instance.
+type Provider struct {
+	mi    *margo.Instance
+	mn    *mona.Instance
+	group *ssg.Group
+
+	mu          sync.Mutex
+	pipelines   map[string]*pipelineSlot
+	activeIters int
+	leaving     bool
+	onLeave     func()
+}
+
+// NewProvider creates a provider on mi, using mn for pipeline collectives
+// and group for membership. group may be nil for single-server tests.
+func NewProvider(mi *margo.Instance, mn *mona.Instance, group *ssg.Group) *Provider {
+	p := &Provider{
+		mi:        mi,
+		mn:        mn,
+		group:     group,
+		pipelines: make(map[string]*pipelineSlot),
+	}
+	mi.RegisterProviderRPC(ProviderID, "prepare", p.handlePrepare)
+	mi.RegisterProviderRPC(ProviderID, "commit", p.handleCommit)
+	mi.RegisterProviderRPC(ProviderID, "abort", p.handleAbort)
+	mi.RegisterProviderRPC(ProviderID, "stage", p.handleStage)
+	mi.RegisterProviderRPC(ProviderID, "execute", p.handleExecute)
+	mi.RegisterProviderRPC(ProviderID, "deactivate", p.handleDeactivate)
+	mi.RegisterProviderRPC(ProviderID, "members", p.handleMembers)
+	mi.RegisterProviderRPC(ProviderID, "info", p.handleInfo)
+	mi.RegisterProviderRPC(AdminID, "create_pipeline", p.handleCreatePipeline)
+	mi.RegisterProviderRPC(AdminID, "destroy_pipeline", p.handleDestroyPipeline)
+	mi.RegisterProviderRPC(AdminID, "list_pipelines", p.handleListPipelines)
+	mi.RegisterProviderRPC(AdminID, "list_types", p.handleListTypes)
+	mi.RegisterProviderRPC(AdminID, "leave", p.handleLeave)
+	mi.RegisterProviderRPC(ProviderID, "migrate_state", p.handleMigrateState)
+	mi.RegisterProviderRPC(ProviderID, "activate_solo", p.handleActivateSolo)
+	return p
+}
+
+// Info returns this server's address pair.
+func (p *Provider) Info() ServerInfo {
+	return ServerInfo{RPC: p.mi.Addr(), Mona: p.mn.Addr()}
+}
+
+// OnLeave registers a callback fired once the server has left the group
+// (after any active iteration drains); the host uses it to shut the
+// process down.
+func (p *Provider) OnLeave(fn func()) {
+	p.mu.Lock()
+	p.onLeave = fn
+	p.mu.Unlock()
+}
+
+// CreatePipeline instantiates a pipeline locally (also reachable via the
+// admin RPC).
+func (p *Provider) CreatePipeline(name, typeName string, config json.RawMessage) error {
+	f, ok := LookupPipelineType(typeName)
+	if !ok {
+		return fmt.Errorf("colza: unknown pipeline type %q (known: %v)", typeName, PipelineTypes())
+	}
+	b, err := f(config)
+	if err != nil {
+		return fmt.Errorf("colza: constructing pipeline %q: %w", name, err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.pipelines[name]; dup {
+		b.Destroy()
+		return fmt.Errorf("colza: pipeline %q already exists", name)
+	}
+	p.pipelines[name] = &pipelineSlot{name: name, backend: b}
+	return nil
+}
+
+// DestroyPipeline removes a pipeline.
+func (p *Provider) DestroyPipeline(name string) error {
+	p.mu.Lock()
+	slot, ok := p.pipelines[name]
+	if ok {
+		delete(p.pipelines, name)
+	}
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchPipeline, name)
+	}
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.active != nil {
+		p.mn.DestroyComm(slot.active.comm)
+		slot.active = nil
+		p.iterDone()
+	}
+	return slot.backend.Destroy()
+}
+
+// Pipelines lists locally instantiated pipeline names.
+func (p *Provider) Pipelines() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.pipelines))
+	for n := range p.pipelines {
+		out = append(out, n)
+	}
+	return out
+}
+
+func (p *Provider) slot(name string) (*pipelineSlot, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.pipelines[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchPipeline, name)
+	}
+	return s, nil
+}
+
+// handlePrepare is phase one of the activate 2PC: vote on pinning the
+// proposed view for the iteration.
+func (p *Provider) handlePrepare(req mercury.Request) ([]byte, error) {
+	var msg prepareMsg
+	if err := json.Unmarshal(req.Payload, &msg); err != nil {
+		return nil, err
+	}
+	vote := func(yes bool, reason string) ([]byte, error) {
+		return json.Marshal(voteMsg{Yes: yes, Reason: reason})
+	}
+	slot, err := p.slot(msg.Pipeline)
+	if err != nil {
+		return vote(false, err.Error())
+	}
+	if msg.View.RankOf(p.mi.Addr()) < 0 {
+		return vote(false, "server not in proposed view")
+	}
+	p.mu.Lock()
+	leaving := p.leaving
+	p.mu.Unlock()
+	if leaving {
+		return vote(false, "server is leaving the staging area")
+	}
+	// The 2PC exists because SSG views are only eventually consistent: a
+	// server votes yes only if the proposed view matches its own current
+	// membership, so all parties pin the same group or the client retries.
+	if p.group != nil && !sameRPCSet(msg.View, p.group.Members()) {
+		return vote(false, fmt.Sprintf("view mismatch: proposed %d members, local view has %d", len(msg.View.Members), len(p.group.Members())))
+	}
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.active != nil {
+		return vote(false, ErrBusy.Error())
+	}
+	if slot.prepared != nil && slot.prepared.epoch > msg.View.Epoch {
+		return vote(false, "superseded by newer epoch")
+	}
+	slot.prepared = &preparedState{epoch: msg.View.Epoch, iteration: msg.Iteration, view: msg.View}
+	return vote(true, "")
+}
+
+// handleCommit is phase two: pin the view, build the iteration
+// communicator, and activate the pipeline instance.
+func (p *Provider) handleCommit(req mercury.Request) ([]byte, error) {
+	var msg epochMsg
+	if err := json.Unmarshal(req.Payload, &msg); err != nil {
+		return nil, err
+	}
+	slot, err := p.slot(msg.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.prepared == nil || slot.prepared.epoch != msg.Epoch {
+		return nil, fmt.Errorf("%w (pipeline %q epoch %d)", ErrNotPrepared, msg.Pipeline, msg.Epoch)
+	}
+	st := slot.prepared
+	rank := st.view.RankOf(p.mi.Addr())
+	c, err := p.mn.CreateComm(CommID(msg.Pipeline, st.epoch), st.view.MonaAddrs())
+	if err != nil {
+		return nil, fmt.Errorf("colza: creating iteration communicator: %w", err)
+	}
+	ctx := IterationContext{
+		Iteration: st.iteration,
+		Epoch:     st.epoch,
+		Rank:      rank,
+		Size:      len(st.view.Members),
+		Comm:      c,
+		View:      st.view,
+	}
+	if err := slot.backend.Activate(ctx); err != nil {
+		p.mn.DestroyComm(c)
+		return nil, fmt.Errorf("colza: pipeline activate: %w", err)
+	}
+	slot.prepared = nil
+	slot.active = &activeState{epoch: st.epoch, iteration: st.iteration, comm: c}
+	p.mu.Lock()
+	p.activeIters++
+	p.mu.Unlock()
+	return []byte("ok"), nil
+}
+
+func (p *Provider) handleAbort(req mercury.Request) ([]byte, error) {
+	var msg epochMsg
+	if err := json.Unmarshal(req.Payload, &msg); err != nil {
+		return nil, err
+	}
+	slot, err := p.slot(msg.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	slot.mu.Lock()
+	if slot.prepared != nil && slot.prepared.epoch == msg.Epoch {
+		slot.prepared = nil
+	}
+	slot.mu.Unlock()
+	return []byte("ok"), nil
+}
+
+// handleStage pulls the staged block from the simulation's memory (bulk
+// RDMA) and hands it to the pipeline.
+func (p *Provider) handleStage(req mercury.Request) ([]byte, error) {
+	var msg stageMsg
+	if err := json.Unmarshal(req.Payload, &msg); err != nil {
+		return nil, err
+	}
+	slot, err := p.slot(msg.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	slot.mu.Lock()
+	st := slot.active
+	slot.mu.Unlock()
+	if st == nil || st.iteration != msg.Iteration {
+		return nil, fmt.Errorf("%w: stage(iter=%d)", ErrNotActive, msg.Iteration)
+	}
+	bulk, _, err := mercury.DecodeBulk(msg.Bulk)
+	if err != nil {
+		return nil, err
+	}
+	data, err := p.mi.Class().PullBulk(bulk)
+	if err != nil {
+		return nil, fmt.Errorf("colza: pulling staged block: %w", err)
+	}
+	if err := slot.backend.Stage(msg.Iteration, msg.Meta, data); err != nil {
+		return nil, err
+	}
+	return []byte("ok"), nil
+}
+
+func (p *Provider) handleExecute(req mercury.Request) ([]byte, error) {
+	var msg epochMsg
+	if err := json.Unmarshal(req.Payload, &msg); err != nil {
+		return nil, err
+	}
+	slot, err := p.slot(msg.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	slot.mu.Lock()
+	st := slot.active
+	slot.mu.Unlock()
+	if st == nil || st.iteration != msg.Iteration {
+		return nil, fmt.Errorf("%w: execute(iter=%d)", ErrNotActive, msg.Iteration)
+	}
+	res, err := slot.backend.Execute(msg.Iteration)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(res)
+}
+
+func (p *Provider) handleDeactivate(req mercury.Request) ([]byte, error) {
+	var msg epochMsg
+	if err := json.Unmarshal(req.Payload, &msg); err != nil {
+		return nil, err
+	}
+	slot, err := p.slot(msg.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	slot.mu.Lock()
+	st := slot.active
+	if st == nil || st.iteration != msg.Iteration {
+		slot.mu.Unlock()
+		return nil, fmt.Errorf("%w: deactivate(iter=%d)", ErrNotActive, msg.Iteration)
+	}
+	err = slot.backend.Deactivate(msg.Iteration)
+	p.mn.DestroyComm(st.comm)
+	slot.active = nil
+	slot.mu.Unlock()
+	p.iterDone()
+	if err != nil {
+		return nil, err
+	}
+	return []byte("ok"), nil
+}
+
+// iterDone decrements the active-iteration count and completes a deferred
+// leave once the server is idle.
+func (p *Provider) iterDone() {
+	p.mu.Lock()
+	p.activeIters--
+	doLeave := p.leaving && p.activeIters == 0
+	fn := p.onLeave
+	p.mu.Unlock()
+	if doLeave {
+		p.finishLeave(fn)
+	}
+}
+
+func (p *Provider) handleMembers(req mercury.Request) ([]byte, error) {
+	var ms membersMsg
+	if p.group != nil {
+		ms.Members = p.group.Members()
+	} else {
+		ms.Members = []string{p.mi.Addr()}
+	}
+	return json.Marshal(ms)
+}
+
+func (p *Provider) handleInfo(req mercury.Request) ([]byte, error) {
+	return json.Marshal(infoMsg{RPC: p.mi.Addr(), Mona: p.mn.Addr()})
+}
+
+func (p *Provider) handleCreatePipeline(req mercury.Request) ([]byte, error) {
+	var msg createPipelineMsg
+	if err := json.Unmarshal(req.Payload, &msg); err != nil {
+		return nil, err
+	}
+	if err := p.CreatePipeline(msg.Name, msg.Type, msg.Config); err != nil {
+		return nil, err
+	}
+	return []byte("ok"), nil
+}
+
+func (p *Provider) handleDestroyPipeline(req mercury.Request) ([]byte, error) {
+	var msg nameMsg
+	if err := json.Unmarshal(req.Payload, &msg); err != nil {
+		return nil, err
+	}
+	if err := p.DestroyPipeline(msg.Name); err != nil {
+		return nil, err
+	}
+	return []byte("ok"), nil
+}
+
+func (p *Provider) handleListPipelines(req mercury.Request) ([]byte, error) {
+	return json.Marshal(p.Pipelines())
+}
+
+// handleListTypes reports which pipeline types this daemon can
+// instantiate (the shared libraries on its library path, so to speak).
+func (p *Provider) handleListTypes(req mercury.Request) ([]byte, error) {
+	return json.Marshal(PipelineTypes())
+}
+
+// handleLeave asks this server to exit the staging area. If an iteration
+// is active the departure is deferred until deactivate — membership is
+// frozen while a pipeline runs, exactly as the paper specifies.
+func (p *Provider) handleLeave(req mercury.Request) ([]byte, error) {
+	p.mu.Lock()
+	if p.leaving {
+		p.mu.Unlock()
+		return []byte("already leaving"), nil
+	}
+	p.leaving = true
+	deferLeave := p.activeIters > 0
+	fn := p.onLeave
+	p.mu.Unlock()
+	if deferLeave {
+		return []byte("leave deferred until iteration completes"), nil
+	}
+	p.finishLeave(fn)
+	return []byte("ok"), nil
+}
+
+func (p *Provider) finishLeave(fn func()) {
+	p.migrateStatefulPipelines()
+	if p.group != nil {
+		p.group.Leave()
+	}
+	if fn != nil {
+		// The OnLeave callback typically shuts the process down; give the
+		// in-flight admin RPC response time to leave the endpoint first.
+		go func() {
+			time.Sleep(200 * time.Millisecond)
+			fn()
+		}()
+	}
+}
+
+// migrateMsg carries a departing instance's state to a successor.
+type migrateMsg struct {
+	Pipeline string `json:"p"`
+	State    []byte `json:"s"`
+}
+
+// migrateStatefulPipelines ships the state of every StatefulBackend to a
+// surviving member before this server leaves (paper future work (3)).
+// Best effort: a migration failure must not block the departure.
+func (p *Provider) migrateStatefulPipelines() {
+	if p.group == nil {
+		return
+	}
+	successor := ""
+	for _, m := range p.group.Members() {
+		if m != p.mi.Addr() {
+			successor = m
+			break
+		}
+	}
+	if successor == "" {
+		return // last server standing: nowhere to migrate
+	}
+	p.mu.Lock()
+	slots := make([]*pipelineSlot, 0, len(p.pipelines))
+	for _, s := range p.pipelines {
+		slots = append(slots, s)
+	}
+	p.mu.Unlock()
+	for _, slot := range slots {
+		sb, ok := slot.backend.(StatefulBackend)
+		if !ok {
+			continue
+		}
+		state, err := sb.ExportState()
+		if err != nil || len(state) == 0 {
+			continue
+		}
+		payload, _ := json.Marshal(migrateMsg{Pipeline: slot.name, State: state})
+		_, _ = p.mi.CallProvider(successor, ProviderID, "migrate_state", payload, 10*time.Second)
+	}
+}
+
+// handleMigrateState merges a departing peer's pipeline state into the
+// local instance.
+func (p *Provider) handleMigrateState(req mercury.Request) ([]byte, error) {
+	var msg migrateMsg
+	if err := json.Unmarshal(req.Payload, &msg); err != nil {
+		return nil, err
+	}
+	slot, err := p.slot(msg.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	sb, ok := slot.backend.(StatefulBackend)
+	if !ok {
+		return nil, fmt.Errorf("colza: pipeline %q is not stateful", msg.Pipeline)
+	}
+	if err := sb.ImportState(msg.State); err != nil {
+		return nil, err
+	}
+	return []byte("ok"), nil
+}
+
+// sameRPCSet reports whether the view's RPC addresses equal the given
+// member list as a set.
+func sameRPCSet(v MemberView, members []string) bool {
+	if len(v.Members) != len(members) {
+		return false
+	}
+	set := make(map[string]bool, len(members))
+	for _, m := range members {
+		set[m] = true
+	}
+	for _, m := range v.Members {
+		if !set[m.RPC] {
+			return false
+		}
+	}
+	return true
+}
+
+// Leaving reports whether a leave has been requested.
+func (p *Provider) Leaving() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.leaving
+}

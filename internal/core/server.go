@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"colza/internal/margo"
+	"colza/internal/mona"
+	"colza/internal/na"
+	"colza/internal/ssg"
+)
+
+// Server bundles everything one Colza staging process runs: a Margo
+// instance (RPC endpoint), a MoNA instance (collectives endpoint), SSG
+// membership, and the provider hosting pipelines.
+type Server struct {
+	MI       *margo.Instance
+	Mona     *mona.Instance
+	Group    *ssg.Group
+	Provider *Provider
+}
+
+// ServerConfig tunes a staging server.
+type ServerConfig struct {
+	// GroupName is the SSG group name (default "colza").
+	GroupName string
+	// Bootstrap is the RPC address of any existing member; empty creates
+	// a new group (the first daemon of a deployment).
+	Bootstrap string
+	// SSG tunes the gossip protocol.
+	SSG ssg.Config
+}
+
+// StartServer assembles a staging server from its two endpoints. rpcEP
+// carries Margo control traffic (RPCs, bulk pulls); monaEP carries
+// pipeline collectives — the same split the Colza paper uses between Margo
+// and MoNA.
+func StartServer(rpcEP, monaEP na.Endpoint, cfg ServerConfig) (*Server, error) {
+	if cfg.GroupName == "" {
+		cfg.GroupName = "colza"
+	}
+	mi := margo.NewInstance(rpcEP)
+	mn := mona.NewInstance(monaEP)
+	var group *ssg.Group
+	var err error
+	if cfg.Bootstrap == "" {
+		group, err = ssg.Create(mi, cfg.GroupName, cfg.SSG)
+	} else {
+		group, err = ssg.Join(mi, cfg.GroupName, cfg.Bootstrap, cfg.SSG)
+	}
+	if err != nil {
+		mi.Finalize()
+		mn.Finalize()
+		return nil, fmt.Errorf("colza: starting server: %w", err)
+	}
+	s := &Server{MI: mi, Mona: mn, Group: group, Provider: NewProvider(mi, mn, group)}
+	mi.OnFinalize(func() { mn.Finalize() })
+	return s, nil
+}
+
+// StartInprocServer creates both endpoints on an in-process network under
+// the given name and starts a server — the deployment path used by tests,
+// benchmarks, and examples.
+func StartInprocServer(net *na.InprocNetwork, name string, cfg ServerConfig) (*Server, error) {
+	rpcEP, err := net.Listen(name)
+	if err != nil {
+		return nil, err
+	}
+	monaEP, err := net.Listen(name + ":mona")
+	if err != nil {
+		rpcEP.Close()
+		return nil, err
+	}
+	return StartServer(rpcEP, monaEP, cfg)
+}
+
+// Addr returns the server's RPC address (the one clients and joiners use).
+func (s *Server) Addr() string { return s.MI.Addr() }
+
+// Shutdown stops the server abruptly (no leave announcement) — the crash
+// path. Use the admin leave RPC for graceful departure.
+func (s *Server) Shutdown() {
+	s.Group.Shutdown()
+	s.MI.Finalize()
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestSoloHandleLifecycle: the single-server pipeline handle works
+// without any view agreement and pins all data to one server.
+func TestSoloHandleLifecycle(t *testing.T) {
+	d := deploy(t, 2)
+	d.createEverywhere(t, "solo")
+	h := d.client.SoloHandle("solo", d.servers[1].Addr())
+	h.SetTimeout(2 * time.Second)
+	if h.Server() != d.servers[1].Addr() {
+		t.Fatal("server address lost")
+	}
+	if err := h.Activate(1); err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 3; b++ {
+		if err := h.Stage(1, BlockMeta{BlockID: b}, bytes.Repeat([]byte{7}, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := h.Execute(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary["size"] != 1 {
+		t.Fatalf("solo pipeline saw comm size %v, want 1", res.Summary["size"])
+	}
+	if res.Summary["total_bytes"] != 150 {
+		t.Fatalf("total = %v, want 150", res.Summary["total_bytes"])
+	}
+	if err := h.Deactivate(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second iteration exercises comm id recycling on the solo path.
+	if err := h.Activate(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Deactivate(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSoloHandleBusyConflict: a solo activate on a pipeline already held
+// by a distributed iteration is refused.
+func TestSoloHandleBusyConflict(t *testing.T) {
+	d := deploy(t, 1)
+	d.createEverywhere(t, "viz")
+	dist := d.client.Handle("viz", d.servers[0].Addr())
+	dist.SetTimeout(2 * time.Second)
+	if _, err := dist.Activate(1); err != nil {
+		t.Fatal(err)
+	}
+	solo := d.client.SoloHandle("viz", d.servers[0].Addr())
+	solo.SetTimeout(time.Second)
+	if err := solo.Activate(5); err == nil {
+		t.Fatal("solo activate on busy pipeline accepted")
+	}
+	if err := dist.Deactivate(1); err != nil {
+		t.Fatal(err)
+	}
+	// Free now.
+	if err := solo.Activate(5); err != nil {
+		t.Fatal(err)
+	}
+	solo.Deactivate(5)
+}
+
+// TestSoloHandleAsyncVariants exercises the non-blocking solo API.
+func TestSoloHandleAsyncVariants(t *testing.T) {
+	d := deploy(t, 1)
+	d.createEverywhere(t, "solo")
+	h := d.client.SoloHandle("solo", d.servers[0].Addr())
+	h.SetTimeout(2 * time.Second)
+	if _, err := h.NBActivate(1).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.NBStage(1, BlockMeta{}, []byte("abc")).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.NBExecute(1).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Summary["total_bytes"] != 3 {
+		t.Fatalf("async solo execute = %+v", res)
+	}
+	if _, err := h.NBDeactivate(1).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Activate(99); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Deactivate(99); err != nil {
+		t.Fatal(err)
+	}
+}

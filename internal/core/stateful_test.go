@@ -1,0 +1,149 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// statefulPipeline accumulates the number of bytes staged into it across
+// iterations (a running total — the kind of cross-iteration state the
+// paper's future work (3) is about) and supports export/import merging.
+type statefulPipeline struct {
+	mu    sync.Mutex
+	total uint64
+	iter  uint64
+}
+
+func (s *statefulPipeline) Activate(ctx IterationContext) error {
+	s.mu.Lock()
+	s.iter = ctx.Iteration
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *statefulPipeline) Stage(it uint64, meta BlockMeta, data []byte) error {
+	s.mu.Lock()
+	s.total += uint64(len(data))
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *statefulPipeline) Execute(it uint64) (ExecResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ExecResult{Summary: map[string]float64{"total": float64(s.total)}}, nil
+}
+
+func (s *statefulPipeline) Deactivate(it uint64) error { return nil }
+func (s *statefulPipeline) Destroy() error             { return nil }
+
+func (s *statefulPipeline) ExportState() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, s.total)
+	return out, nil
+}
+
+func (s *statefulPipeline) ImportState(data []byte) error {
+	if len(data) != 8 {
+		return ErrNoSuchPipeline // any error will do for the test
+	}
+	s.mu.Lock()
+	s.total += binary.LittleEndian.Uint64(data)
+	s.mu.Unlock()
+	return nil
+}
+
+var _ StatefulBackend = (*statefulPipeline)(nil)
+
+func init() {
+	RegisterPipelineType("stateful", func(cfg json.RawMessage) (Backend, error) {
+		return &statefulPipeline{}, nil
+	})
+}
+
+// TestStatefulMigrationOnLeave: a departing server's accumulated pipeline
+// state must land on a surviving member.
+func TestStatefulMigrationOnLeave(t *testing.T) {
+	d := deploy(t, 2)
+	for _, s := range d.servers {
+		if err := d.admin.CreatePipeline(s.Addr(), "acc", "stateful", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := d.client.Handle("acc", d.servers[0].Addr())
+	h.SetTimeout(2 * time.Second)
+
+	// Stage 100 bytes to each server across an iteration.
+	if _, err := h.Activate(1); err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 2; b++ {
+		if err := h.Stage(1, BlockMeta{BlockID: b}, make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.Execute(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Deactivate(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server 1 leaves; its 100 bytes of state must migrate to server 0.
+	if err := d.admin.RequestLeave(d.servers[1].Addr()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && len(d.servers[0].Group.Members()) != 1 {
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if _, err := h.Activate(2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Execute(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Deactivate(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("%d results", len(res))
+	}
+	if got := res[0].Summary["total"]; got != 200 {
+		t.Fatalf("survivor's state = %v bytes, want 200 (migration lost state)", got)
+	}
+}
+
+// TestStatefulMigrationSkippedForLastServer: the last server has no
+// successor; leaving must still work.
+func TestStatefulMigrationSkippedForLastServer(t *testing.T) {
+	d := deploy(t, 1)
+	if err := d.admin.CreatePipeline(d.servers[0].Addr(), "acc", "stateful", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.admin.RequestLeave(d.servers[0].Addr()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMigrateStateRejectsStatelessPipeline: migrating into a pipeline
+// that is not stateful fails cleanly.
+func TestMigrateStateRejectsStatelessPipeline(t *testing.T) {
+	d := deploy(t, 1)
+	d.createEverywhere(t, "plain")
+	payload, _ := json.Marshal(migrateMsg{Pipeline: "plain", State: []byte{1, 2}})
+	if _, err := d.clientM.CallProvider(d.servers[0].Addr(), ProviderID, "migrate_state", payload, time.Second); err == nil {
+		t.Fatal("stateless pipeline accepted migrated state")
+	}
+	payload, _ = json.Marshal(migrateMsg{Pipeline: "ghost", State: nil})
+	if _, err := d.clientM.CallProvider(d.servers[0].Addr(), ProviderID, "migrate_state", payload, time.Second); err == nil {
+		t.Fatal("unknown pipeline accepted migrated state")
+	}
+}

@@ -1,0 +1,185 @@
+package e2e
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"colza/internal/catalyst"
+	"colza/internal/core"
+	"colza/internal/margo"
+	"colza/internal/na"
+	"colza/internal/sim"
+)
+
+// buildBinaries compiles the CLI tools once into a temp dir.
+func buildBinaries(t *testing.T) (server, ctl string) {
+	t.Helper()
+	dir := t.TempDir()
+	server = filepath.Join(dir, "colza-server")
+	ctl = filepath.Join(dir, "colza-ctl")
+	for _, b := range []struct{ out, pkg string }{
+		{server, "colza/cmd/colza-server"},
+		{ctl, "colza/cmd/colza-ctl"},
+	} {
+		cmd := exec.Command("go", "build", "-o", b.out, b.pkg)
+		cmd.Dir = repoRoot(t)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", b.pkg, err, out)
+		}
+	}
+	return server, ctl
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(strings.TrimSpace(string(out)))
+}
+
+// TestCommandLineDeployment drives the real binaries: two colza-server
+// processes bootstrapped through the connection file, administered with
+// colza-ctl, and used by an in-test client for one in situ iteration.
+func TestCommandLineDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs subprocesses")
+	}
+	serverBin, ctlBin := buildBinaries(t)
+	dir := t.TempDir()
+	connFile := filepath.Join(dir, "colza.addr")
+
+	startServer := func(name string) *exec.Cmd {
+		cmd := exec.Command(serverBin,
+			"-listen", "127.0.0.1:0", "-listen-mona", "127.0.0.1:0",
+			"-connfile", connFile, "-gossip-ms", "20")
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %s: %v", name, err)
+		}
+		t.Cleanup(func() {
+			if cmd.Process != nil {
+				cmd.Process.Kill()
+				cmd.Wait()
+			}
+		})
+		return cmd
+	}
+
+	startServer("first")
+	// Wait for the connection file to appear.
+	deadline := time.Now().Add(20 * time.Second)
+	var target string
+	for time.Now().Before(deadline) {
+		if data, err := os.ReadFile(connFile); err == nil && len(data) > 0 {
+			target = strings.TrimSpace(string(data))
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if target == "" {
+		t.Fatal("connection file never appeared")
+	}
+	startServer("second")
+
+	ctl := func(args ...string) string {
+		out, err := exec.Command(ctlBin, append([]string{"-connfile", connFile}, args...)...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("colza-ctl %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	// Wait until both servers appear in the membership.
+	deadline = time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if strings.Count(ctl("members"), "rank ") == 2 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	members := ctl("members")
+	if strings.Count(members, "rank ") != 2 {
+		t.Fatalf("membership never reached 2:\n%s", members)
+	}
+
+	// Create the pipeline everywhere through the admin tool.
+	ctl("create-all", "viz", catalyst.IsoPipelineType,
+		`{"field":"value","isovalues":[8],"scalar_range":[0,32],"width":48,"height":48}`)
+	if !strings.Contains(ctl("list"), "viz") {
+		t.Fatal("pipeline not listed after create-all")
+	}
+
+	// One in situ iteration from an in-test client over TCP.
+	ep, err := na.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi := margo.NewInstance(ep)
+	defer mi.Finalize()
+	client := core.NewClient(mi)
+	h := client.Handle("viz", target)
+	h.SetTimeout(30 * time.Second)
+	mb := sim.DefaultMandelbulb([3]int{12, 12, 8}, 4)
+	if _, err := h.Activate(1); err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < mb.Blocks; b++ {
+		blk := sim.MandelbulbBlock(mb, b, 1)
+		if err := h.Stage(1, sim.MandelbulbMeta(mb, b), blk.Encode()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := h.Execute(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	if err := h.Deactivate(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scale down through the admin tool: one server leaves gracefully.
+	view, err := client.FetchView(target, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leaver string
+	for _, m := range view.Members {
+		if m.RPC != target {
+			leaver = m.RPC
+		}
+	}
+	out, err := exec.Command(ctlBin, "-server", leaver, "leave").CombinedOutput()
+	if err != nil {
+		t.Fatalf("leave: %v\n%s", err, out)
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if strings.Count(ctl("members"), "rank ") == 1 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("server never left:\n%s", ctl("members"))
+}
+
+// jsonValid double-checks the pipeline config snippets used in docs parse.
+func TestDocumentedConfigsParse(t *testing.T) {
+	var iso catalyst.IsoConfig
+	if err := json.Unmarshal([]byte(`{"field":"value","isovalues":[8],"scalar_range":[0,32]}`), &iso); err != nil {
+		t.Fatal(err)
+	}
+	if iso.Field != "value" || iso.IsoValues[0] != 8 {
+		t.Fatalf("parsed %+v", iso)
+	}
+}

@@ -1,0 +1,143 @@
+// Package margo is the service runtime binding the RPC layer to
+// lightweight tasking, modeled on Margo from the Mochi suite (which binds
+// Mercury to Argobots). Goroutines stand in for Argobots user-level
+// threads: like ULTs blocking on MoNA communication, a goroutine blocked in
+// an RPC or collective yields the processor to other tasks instead of
+// wasting a core — the property the paper calls out as MoNA's first
+// advantage over MPI.
+//
+// An Instance owns one endpoint, its Mercury class, provider-qualified RPC
+// registration, periodic tasks (used by the SWIM gossip loop), and ordered
+// finalization callbacks.
+package margo
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"colza/internal/mercury"
+	"colza/internal/na"
+)
+
+// Instance is one simulated service process: endpoint + RPC + tasking.
+type Instance struct {
+	class *mercury.Class
+
+	mu        sync.Mutex
+	finalized bool
+	stops     []*stopper
+	onFinal   []func()
+	wg        sync.WaitGroup
+}
+
+// NewInstance wraps an endpoint into a running service instance.
+func NewInstance(ep na.Endpoint) *Instance {
+	return &Instance{class: mercury.New(ep)}
+}
+
+// Class exposes the underlying Mercury class for direct RPC and bulk use.
+func (m *Instance) Class() *mercury.Class { return m.class }
+
+// Addr returns the instance address.
+func (m *Instance) Addr() string { return m.class.Addr() }
+
+// ProviderRPCName builds the wire name of a provider-qualified RPC, the
+// analog of Margo's (rpc id, provider id) multiplexing.
+func ProviderRPCName(provider, rpc string) string {
+	return provider + "::" + rpc
+}
+
+// RegisterProviderRPC installs a handler for rpc under the given provider
+// name.
+func (m *Instance) RegisterProviderRPC(provider, rpc string, h mercury.Handler) {
+	m.class.Register(ProviderRPCName(provider, rpc), h)
+}
+
+// CallProvider invokes a provider-qualified RPC at addr.
+func (m *Instance) CallProvider(addr, provider, rpc string, payload []byte, timeout time.Duration) ([]byte, error) {
+	return m.class.Call(addr, ProviderRPCName(provider, rpc), payload, timeout)
+}
+
+// Periodic starts a background task running fn every interval until the
+// returned stop function is called or the instance finalizes. The first
+// run happens after one interval.
+func (m *Instance) Periodic(interval time.Duration, fn func()) (stop func()) {
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	st := &stopper{ch: make(chan struct{})}
+	m.mu.Lock()
+	if m.finalized {
+		m.mu.Unlock()
+		return func() {}
+	}
+	m.stops = append(m.stops, st)
+	m.wg.Add(1)
+	m.mu.Unlock()
+	go func() {
+		defer m.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-st.ch:
+				return
+			case <-t.C:
+				fn()
+			}
+		}
+	}()
+	return st.stop
+}
+
+// stopper makes stopping a periodic task idempotent between the caller's
+// stop function and Finalize.
+type stopper struct {
+	ch   chan struct{}
+	once sync.Once
+}
+
+func (s *stopper) stop() { s.once.Do(func() { close(s.ch) }) }
+
+// OnFinalize registers fn to run during Finalize, before the endpoint
+// closes, in reverse registration order (like Margo's finalize callbacks).
+func (m *Instance) OnFinalize(fn func()) {
+	m.mu.Lock()
+	m.onFinal = append(m.onFinal, fn)
+	m.mu.Unlock()
+}
+
+// Finalize stops periodic tasks, runs finalize callbacks, and closes the
+// endpoint. It is idempotent.
+func (m *Instance) Finalize() {
+	m.mu.Lock()
+	if m.finalized {
+		m.mu.Unlock()
+		return
+	}
+	m.finalized = true
+	stops := m.stops
+	m.stops = nil
+	final := m.onFinal
+	m.onFinal = nil
+	m.mu.Unlock()
+	for _, st := range stops {
+		st.stop()
+	}
+	m.wg.Wait()
+	for i := len(final) - 1; i >= 0; i-- {
+		final[i]()
+	}
+	m.class.Close()
+}
+
+// Finalized reports whether Finalize has run.
+func (m *Instance) Finalized() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.finalized
+}
+
+// String identifies the instance in logs.
+func (m *Instance) String() string { return fmt.Sprintf("margo(%s)", m.Addr()) }

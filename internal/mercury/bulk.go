@@ -1,0 +1,124 @@
+package mercury
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Bulk is a handle to a registered memory region on some process. It is
+// small and serializable: Colza's stage() RPC sends a Bulk instead of the
+// data itself, and the staging server pulls the bytes with PullBulk —
+// mirroring Mercury's RDMA semantics.
+type Bulk struct {
+	Addr string // owner's class address
+	ID   uint64 // registration id at the owner
+	Size int    // region length in bytes
+}
+
+// Encode serializes the handle.
+func (b Bulk) Encode() []byte {
+	out := make([]byte, 0, 20+len(b.Addr))
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], b.ID)
+	out = append(out, tmp[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], uint64(b.Size))
+	out = append(out, tmp[:]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(b.Addr)))
+	out = append(out, tmp[:4]...)
+	out = append(out, b.Addr...)
+	return out
+}
+
+// DecodeBulk reverses Bulk.Encode, returning the remaining bytes.
+func DecodeBulk(data []byte) (Bulk, []byte, error) {
+	if len(data) < 20 {
+		return Bulk{}, nil, ErrBadBulk
+	}
+	var b Bulk
+	b.ID = binary.LittleEndian.Uint64(data)
+	b.Size = int(binary.LittleEndian.Uint64(data[8:]))
+	al := int(binary.LittleEndian.Uint32(data[16:]))
+	if len(data) < 20+al {
+		return Bulk{}, nil, ErrBadBulk
+	}
+	b.Addr = string(data[20 : 20+al])
+	return b, data[20+al:], nil
+}
+
+// Expose registers buf as pull-able memory and returns its handle. The
+// caller must keep buf alive and unchanged until Release; the region is
+// referenced, not copied, as with pinned RDMA memory.
+func (c *Class) Expose(buf []byte) Bulk {
+	id := c.nextBk.Add(1)
+	c.bmu.Lock()
+	c.bulks[id] = buf
+	c.bmu.Unlock()
+	return Bulk{Addr: c.Addr(), ID: id, Size: len(buf)}
+}
+
+// Release deregisters a previously exposed region.
+func (c *Class) Release(b Bulk) {
+	c.bmu.Lock()
+	delete(c.bulks, b.ID)
+	c.bmu.Unlock()
+}
+
+// PullBulk fetches the full region behind the handle, pipelining large
+// regions in bulkChunk pieces. A local handle is served without touching
+// the network, like intra-node RDMA through shared memory.
+func (c *Class) PullBulk(b Bulk) ([]byte, error) {
+	if b.Size < 0 {
+		return nil, ErrBadBulk
+	}
+	if b.Addr == c.Addr() {
+		c.bmu.Lock()
+		src, ok := c.bulks[b.ID]
+		c.bmu.Unlock()
+		if !ok || len(src) != b.Size {
+			return nil, ErrBadBulk
+		}
+		out := make([]byte, b.Size)
+		copy(out, src)
+		return out, nil
+	}
+	out := make([]byte, b.Size)
+	for off := 0; off < b.Size; off += bulkChunk {
+		n := b.Size - off
+		if n > bulkChunk {
+			n = bulkChunk
+		}
+		var req [24]byte
+		binary.LittleEndian.PutUint64(req[:], b.ID)
+		binary.LittleEndian.PutUint64(req[8:], uint64(off))
+		binary.LittleEndian.PutUint64(req[16:], uint64(n))
+		piece, err := c.Call(b.Addr, bulkPullRPC, req[:], 0)
+		if err != nil {
+			return nil, fmt.Errorf("mercury: bulk pull from %s: %w", b.Addr, err)
+		}
+		if len(piece) != n {
+			return nil, fmt.Errorf("%w: short pull (%d of %d bytes)", ErrBadBulk, len(piece), n)
+		}
+		copy(out[off:], piece)
+	}
+	if b.Size == 0 {
+		return out, nil
+	}
+	return out, nil
+}
+
+// handleBulkPull serves one chunk of an exposed region.
+func (c *Class) handleBulkPull(req Request) ([]byte, error) {
+	if len(req.Payload) != 24 {
+		return nil, ErrBadBulk
+	}
+	id := binary.LittleEndian.Uint64(req.Payload)
+	off := int(binary.LittleEndian.Uint64(req.Payload[8:]))
+	n := int(binary.LittleEndian.Uint64(req.Payload[16:]))
+	c.bmu.Lock()
+	src, ok := c.bulks[id]
+	c.bmu.Unlock()
+	if !ok || off < 0 || n < 0 || off+n > len(src) {
+		return nil, ErrBadBulk
+	}
+	return src[off : off+n], nil
+}

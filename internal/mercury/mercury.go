@@ -1,0 +1,259 @@
+// Package mercury implements the remote-procedure-call layer of the stack,
+// modeled on Mercury from the Mochi suite: named RPCs with request/response
+// semantics on top of the NA message layer, plus RDMA-style bulk transfers.
+// As in Mercury, bulk data is not pushed inside RPC payloads: the owner
+// exposes a registered memory region and sends a compact handle; the peer
+// pulls the bytes on demand. Colza's stage() call uses exactly this pattern
+// (the simulation exposes its block, the staging server pulls it).
+package mercury
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"colza/internal/na"
+)
+
+// Errors returned by calls.
+var (
+	// ErrTimeout indicates no response arrived within the call deadline.
+	ErrTimeout = errors.New("mercury: call timed out")
+	// ErrUnknownRPC indicates the callee has no handler with that name.
+	ErrUnknownRPC = errors.New("mercury: unknown rpc")
+	// ErrClosed indicates the class has been finalized.
+	ErrClosed = errors.New("mercury: class closed")
+	// ErrBadBulk indicates an invalid bulk handle or range.
+	ErrBadBulk = errors.New("mercury: invalid bulk handle")
+)
+
+// RemoteError carries an error string produced by a remote handler.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "mercury: remote: " + e.Msg }
+
+// Request is what a handler receives.
+type Request struct {
+	From    string // caller address
+	Name    string // RPC name
+	Payload []byte
+}
+
+// Handler serves one RPC. The returned bytes become the response payload;
+// a non-nil error is transported to the caller as a *RemoteError.
+type Handler func(req Request) ([]byte, error)
+
+// DefaultTimeout is used by Call when the caller passes 0.
+const DefaultTimeout = 10 * time.Second
+
+// bulkChunk is the largest piece moved per bulk-pull round trip,
+// emulating pipelined RDMA gets.
+const bulkChunk = 8 << 20
+
+const (
+	kindRequest  = 1
+	kindResponse = 2
+)
+
+const bulkPullRPC = "__mercury/bulk_pull"
+
+// Class binds RPC state to one NA endpoint (the analog of an hg_class with
+// its progress loop). It is safe for concurrent use. Handlers run on their
+// own goroutines, so a handler may itself issue RPCs.
+type Class struct {
+	ep na.Endpoint
+
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	closed   bool
+
+	pmu     sync.Mutex
+	pending map[uint64]chan response
+
+	bmu    sync.Mutex
+	bulks  map[uint64][]byte
+	nextID atomic.Uint64
+	nextBk atomic.Uint64
+
+	wg sync.WaitGroup
+}
+
+type response struct {
+	status  byte
+	payload []byte
+}
+
+// New creates a Class on ep and starts its progress loop.
+func New(ep na.Endpoint) *Class {
+	c := &Class{
+		ep:       ep,
+		handlers: make(map[string]Handler),
+		pending:  make(map[uint64]chan response),
+		bulks:    make(map[uint64][]byte),
+	}
+	c.Register(bulkPullRPC, c.handleBulkPull)
+	c.wg.Add(1)
+	go c.progress()
+	return c
+}
+
+// Addr returns the endpoint address peers should use to call this class.
+func (c *Class) Addr() string { return c.ep.Addr() }
+
+// Register installs (or replaces) the handler for an RPC name.
+func (c *Class) Register(name string, h Handler) {
+	c.mu.Lock()
+	c.handlers[name] = h
+	c.mu.Unlock()
+}
+
+// Deregister removes a handler; pending calls fail with ErrUnknownRPC.
+func (c *Class) Deregister(name string) {
+	c.mu.Lock()
+	delete(c.handlers, name)
+	c.mu.Unlock()
+}
+
+// Call invokes the named RPC at address to and waits for the response.
+// timeout<=0 selects DefaultTimeout.
+func (c *Class) Call(to, name string, payload []byte, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	id := c.nextID.Add(1)
+	ch := make(chan response, 1)
+	c.pmu.Lock()
+	c.pending[id] = ch
+	c.pmu.Unlock()
+	defer func() {
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+	}()
+
+	frame := encodeRequest(id, name, payload)
+	if err := c.ep.Send(to, frame); err != nil {
+		return nil, fmt.Errorf("mercury: send to %s: %w", to, err)
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		switch r.status {
+		case 0:
+			return r.payload, nil
+		case 2:
+			return nil, fmt.Errorf("%w: %s at %s", ErrUnknownRPC, name, to)
+		default:
+			return nil, &RemoteError{Msg: string(r.payload)}
+		}
+	case <-timer.C:
+		return nil, fmt.Errorf("%w: %s at %s", ErrTimeout, name, to)
+	}
+}
+
+// progress is the endpoint receive loop: it dispatches requests to handler
+// goroutines and completes pending calls with their responses.
+func (c *Class) progress() {
+	defer c.wg.Done()
+	for {
+		from, data, err := c.ep.Recv()
+		if err != nil {
+			return
+		}
+		if len(data) < 9 {
+			continue
+		}
+		kind := data[0]
+		id := binary.LittleEndian.Uint64(data[1:9])
+		body := data[9:]
+		switch kind {
+		case kindRequest:
+			name, payload, ok := splitRequest(body)
+			if !ok {
+				continue
+			}
+			c.mu.RLock()
+			h := c.handlers[name]
+			c.mu.RUnlock()
+			go c.serve(from, id, name, payload, h)
+		case kindResponse:
+			if len(body) < 1 {
+				continue
+			}
+			c.pmu.Lock()
+			ch := c.pending[id]
+			c.pmu.Unlock()
+			if ch != nil {
+				ch <- response{status: body[0], payload: body[1:]}
+			}
+		}
+	}
+}
+
+func (c *Class) serve(from string, id uint64, name string, payload []byte, h Handler) {
+	var status byte
+	var out []byte
+	if h == nil {
+		status = 2
+	} else {
+		res, err := h(Request{From: from, Name: name, Payload: payload})
+		if err != nil {
+			status = 1
+			out = []byte(err.Error())
+		} else {
+			out = res
+		}
+	}
+	frame := make([]byte, 0, 10+len(out))
+	frame = append(frame, kindResponse)
+	var idb [8]byte
+	binary.LittleEndian.PutUint64(idb[:], id)
+	frame = append(frame, idb[:]...)
+	frame = append(frame, status)
+	frame = append(frame, out...)
+	_ = c.ep.Send(from, frame)
+}
+
+// Close finalizes the class: the endpoint is closed and the progress loop
+// drained. In-flight calls fail.
+func (c *Class) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.ep.Close()
+	c.wg.Wait()
+	return err
+}
+
+func encodeRequest(id uint64, name string, payload []byte) []byte {
+	frame := make([]byte, 0, 13+len(name)+len(payload))
+	frame = append(frame, kindRequest)
+	var idb [8]byte
+	binary.LittleEndian.PutUint64(idb[:], id)
+	frame = append(frame, idb[:]...)
+	var nl [4]byte
+	binary.LittleEndian.PutUint32(nl[:], uint32(len(name)))
+	frame = append(frame, nl[:]...)
+	frame = append(frame, name...)
+	frame = append(frame, payload...)
+	return frame
+}
+
+func splitRequest(body []byte) (name string, payload []byte, ok bool) {
+	if len(body) < 4 {
+		return "", nil, false
+	}
+	nl := int(binary.LittleEndian.Uint32(body))
+	if len(body) < 4+nl {
+		return "", nil, false
+	}
+	return string(body[4 : 4+nl]), body[4+nl:], true
+}

@@ -1,0 +1,160 @@
+package na
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+)
+
+// InprocNetwork hosts any number of in-process endpoints. It is how the
+// repository deploys "multi-node" Colza runs inside one OS process: every
+// simulated process (simulation rank, Colza server, admin tool) listens on
+// its own address. The network supports fault injection — message drop
+// probability, fixed link delay, and pairwise partitions — used by the
+// failure-handling tests and the fault-tolerance extension experiments.
+type InprocNetwork struct {
+	mu        sync.Mutex
+	eps       map[string]*inprocEP
+	everSeen  map[string]bool
+	dropProb  float64
+	linkDelay time.Duration
+	parts     map[[2]string]bool
+	rng       *rand.Rand
+}
+
+// NewInprocNetwork creates an empty in-process network.
+func NewInprocNetwork() *InprocNetwork {
+	return &InprocNetwork{
+		eps:      make(map[string]*inprocEP),
+		everSeen: make(map[string]bool),
+		parts:    make(map[[2]string]bool),
+		rng:      rand.New(rand.NewSource(1)),
+	}
+}
+
+// Listen creates an endpoint named name; its address is "inproc://name".
+func (n *InprocNetwork) Listen(name string) (Endpoint, error) {
+	if name == "" || strings.ContainsAny(name, " \n") {
+		return nil, fmt.Errorf("na: invalid endpoint name %q", name)
+	}
+	addr := "inproc://" + name
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.eps[addr]; ok {
+		return nil, fmt.Errorf("na: address %s already in use", addr)
+	}
+	ep := &inprocEP{net: n, addr: addr, q: newPktQueue()}
+	n.eps[addr] = ep
+	n.everSeen[addr] = true
+	return ep, nil
+}
+
+// SetDropProb makes every subsequent delivery fail silently with
+// probability p (0 disables).
+func (n *InprocNetwork) SetDropProb(p float64) {
+	n.mu.Lock()
+	n.dropProb = p
+	n.mu.Unlock()
+}
+
+// SetLinkDelay delays every delivery by d (0 disables). Delayed packets
+// are delivered asynchronously, preserving per-link ordering is NOT
+// guaranteed under randomized delays; with a fixed d ordering holds.
+func (n *InprocNetwork) SetLinkDelay(d time.Duration) {
+	n.mu.Lock()
+	n.linkDelay = d
+	n.mu.Unlock()
+}
+
+// Partition cuts (or heals) bidirectional connectivity between a and b.
+func (n *InprocNetwork) Partition(a, b string, cut bool) {
+	key := [2]string{a, b}
+	if a > b {
+		key = [2]string{b, a}
+	}
+	n.mu.Lock()
+	if cut {
+		n.parts[key] = true
+	} else {
+		delete(n.parts, key)
+	}
+	n.mu.Unlock()
+}
+
+// Endpoints returns the addresses currently listening, in no particular
+// order.
+func (n *InprocNetwork) Endpoints() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.eps))
+	for a := range n.eps {
+		out = append(out, a)
+	}
+	return out
+}
+
+type inprocEP struct {
+	net    *InprocNetwork
+	addr   string
+	q      *pktQueue
+	closed sync.Once
+}
+
+func (e *inprocEP) Addr() string { return e.addr }
+
+func (e *inprocEP) Send(to string, data []byte) error {
+	n := e.net
+	n.mu.Lock()
+	dst, ok := n.eps[to]
+	if !ok {
+		seen := n.everSeen[to]
+		n.mu.Unlock()
+		if seen {
+			return nil // crashed/closed peer: datagram silently lost
+		}
+		return fmt.Errorf("%w: %s", ErrNoRoute, to)
+	}
+	key := [2]string{e.addr, to}
+	if e.addr > to {
+		key = [2]string{to, e.addr}
+	}
+	if n.parts[key] {
+		n.mu.Unlock()
+		return nil // partitioned: silently lost
+	}
+	if n.dropProb > 0 && n.rng.Float64() < n.dropProb {
+		n.mu.Unlock()
+		return nil
+	}
+	delay := n.linkDelay
+	n.mu.Unlock()
+
+	cp := append([]byte(nil), data...)
+	pkt := packet{from: e.addr, data: cp}
+	if delay > 0 {
+		time.AfterFunc(delay, func() { dst.q.push(pkt) })
+		return nil
+	}
+	dst.q.push(pkt)
+	return nil
+}
+
+func (e *inprocEP) Recv() (string, []byte, error) {
+	p, err := e.q.pop()
+	if err != nil {
+		return "", nil, err
+	}
+	return p.from, p.data, nil
+}
+
+func (e *inprocEP) Close() error {
+	e.closed.Do(func() {
+		e.net.mu.Lock()
+		delete(e.net.eps, e.addr)
+		e.net.mu.Unlock()
+		e.q.close()
+	})
+	return nil
+}

@@ -1,0 +1,95 @@
+// Package na is the network abstraction layer of the stack, modeled on NA,
+// the messaging layer underneath Mercury in the Mochi suite. It provides
+// addressed, connectionless message endpoints. Two transports are
+// implemented: an in-process transport (many simulated "processes" inside
+// one OS process, with optional fault injection and link delays) and a TCP
+// transport for actually-distributed deployments. Everything above — RPC
+// (internal/mercury), collectives (internal/mona), membership
+// (internal/ssg) — is written against the Endpoint interface and cannot
+// tell the transports apart.
+package na
+
+import (
+	"errors"
+	"sync"
+)
+
+// Common errors returned by endpoints.
+var (
+	// ErrClosed indicates the endpoint was closed.
+	ErrClosed = errors.New("na: endpoint closed")
+	// ErrNoRoute indicates the destination address is not known to the
+	// transport (it never existed). Messages to addresses that existed but
+	// whose endpoint has shut down are dropped silently, like datagrams to
+	// a crashed host, so failure detectors exercise their timeout paths.
+	ErrNoRoute = errors.New("na: no route to address")
+	// ErrTooLarge indicates a message above the transport frame limit.
+	ErrTooLarge = errors.New("na: message too large")
+)
+
+// Endpoint is an addressed mailbox: it can send a message to any address on
+// the same transport and receive messages addressed to it. Send never
+// blocks on the receiver; Recv blocks until a message arrives or the
+// endpoint closes. Endpoints are safe for concurrent use; the payload
+// returned by Recv is owned by the caller.
+type Endpoint interface {
+	Addr() string
+	Send(to string, data []byte) error
+	Recv() (from string, data []byte, err error)
+	Close() error
+}
+
+// packet is one in-flight message.
+type packet struct {
+	from string
+	data []byte
+}
+
+// pktQueue is an unbounded FIFO of packets with blocking receive. An
+// unbounded queue mirrors NA semantics (sends complete locally) and rules
+// out transport-induced deadlocks in collective algorithms.
+type pktQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []packet
+	closed bool
+}
+
+func newPktQueue() *pktQueue {
+	q := &pktQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *pktQueue) push(p packet) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, p)
+	q.cond.Signal()
+	return true
+}
+
+func (q *pktQueue) pop() (packet, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return packet{}, ErrClosed
+	}
+	p := q.items[0]
+	q.items = q.items[1:]
+	return p, nil
+}
+
+func (q *pktQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.items = nil
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

@@ -1,0 +1,197 @@
+package na
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+)
+
+// maxFrame bounds a single TCP message frame (64 MiB), protecting the
+// receiver from corrupt length prefixes.
+const maxFrame = 64 << 20
+
+// ListenTCP creates an endpoint bound to hostport (e.g. "127.0.0.1:0");
+// its address is "tcp://" + the actual listen address. Frames carry the
+// sender's address so replies can be routed without handshakes.
+func ListenTCP(hostport string) (Endpoint, error) {
+	l, err := net.Listen("tcp", hostport)
+	if err != nil {
+		return nil, fmt.Errorf("na: listen: %w", err)
+	}
+	ep := &tcpEP{
+		addr:  "tcp://" + l.Addr().String(),
+		l:     l,
+		q:     newPktQueue(),
+		conns: make(map[string]*tcpConn),
+	}
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+type tcpEP struct {
+	addr string
+	l    net.Listener
+	q    *pktQueue
+
+	mu     sync.Mutex
+	conns  map[string]*tcpConn
+	closed bool
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+func (e *tcpEP) Addr() string { return e.addr }
+
+func (e *tcpEP) acceptLoop() {
+	for {
+		c, err := e.l.Accept()
+		if err != nil {
+			return
+		}
+		go e.readLoop(c)
+	}
+}
+
+func (e *tcpEP) readLoop(c net.Conn) {
+	defer c.Close()
+	for {
+		from, data, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		if !e.q.push(packet{from: from, data: data}) {
+			return
+		}
+	}
+}
+
+func readFrame(r io.Reader) (string, []byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return "", nil, err
+	}
+	fromLen := binary.LittleEndian.Uint32(hdr[:4])
+	dataLen := binary.LittleEndian.Uint32(hdr[4:])
+	if fromLen > 4096 || dataLen > maxFrame {
+		return "", nil, ErrTooLarge
+	}
+	buf := make([]byte, int(fromLen)+int(dataLen))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", nil, err
+	}
+	return string(buf[:fromLen]), buf[fromLen:], nil
+}
+
+func writeFrame(w io.Writer, from string, data []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(from)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, from); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+func (e *tcpEP) Send(to string, data []byte) error {
+	if len(data) > maxFrame {
+		return ErrTooLarge
+	}
+	hostport := strings.TrimPrefix(to, "tcp://")
+	if hostport == to {
+		return fmt.Errorf("%w: %s (not a tcp address)", ErrNoRoute, to)
+	}
+	conn, err := e.getConn(to, hostport)
+	if err != nil {
+		// Connection refused behaves like a lost datagram once the peer is
+		// gone; surface only resolution-style failures.
+		if strings.Contains(err.Error(), "missing port") {
+			return fmt.Errorf("%w: %s", ErrNoRoute, to)
+		}
+		return nil
+	}
+	conn.mu.Lock()
+	err = writeFrame(conn.c, e.addr, data)
+	conn.mu.Unlock()
+	if err != nil {
+		e.dropConn(to, conn)
+	}
+	return nil
+}
+
+func (e *tcpEP) getConn(to, hostport string) (*tcpConn, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		return c, nil
+	}
+	e.mu.Unlock()
+
+	raw, err := net.Dial("tcp", hostport)
+	if err != nil {
+		return nil, err
+	}
+	c := &tcpConn{c: raw}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		raw.Close()
+		return nil, ErrClosed
+	}
+	if old, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		raw.Close()
+		return old, nil
+	}
+	e.conns[to] = c
+	e.mu.Unlock()
+	return c, nil
+}
+
+func (e *tcpEP) dropConn(to string, c *tcpConn) {
+	e.mu.Lock()
+	if e.conns[to] == c {
+		delete(e.conns, to)
+	}
+	e.mu.Unlock()
+	c.c.Close()
+}
+
+func (e *tcpEP) Recv() (string, []byte, error) {
+	p, err := e.q.pop()
+	if err != nil {
+		return "", nil, err
+	}
+	return p.from, p.data, nil
+}
+
+func (e *tcpEP) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := e.conns
+	e.conns = map[string]*tcpConn{}
+	e.mu.Unlock()
+	e.l.Close()
+	for _, c := range conns {
+		c.c.Close()
+	}
+	e.q.close()
+	return nil
+}

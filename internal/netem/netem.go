@@ -1,0 +1,86 @@
+// Package netem provides parametric network cost models used to emulate
+// the Cori Cray XC40 platform the Colza paper evaluates on: a dragonfly
+// Aries interconnect between nodes and shared memory within a node. The
+// models are deliberately simple alpha-beta (latency + 1/bandwidth) link
+// models combined with a rank-to-node topology; the protocol behaviour that
+// differentiates the communication stacks (eager, rendezvous, RDMA) lives
+// in internal/vstack and internal/minimpi, not here.
+package netem
+
+import (
+	"fmt"
+	"time"
+)
+
+// Link models one hop: a fixed per-message latency plus a per-byte cost
+// (the inverse of bandwidth). The per-byte gap is kept in picoseconds:
+// modern interconnects move a byte in well under a nanosecond (0.105 ns/B
+// at 9.5 GB/s), which a time.Duration per byte would truncate to zero.
+type Link struct {
+	Latency      time.Duration // per-message wire latency
+	PicosPerByte int64         // serialization time per byte (1/bandwidth), picoseconds
+}
+
+// Cost returns the virtual time needed to move n bytes across the link.
+func (l Link) Cost(n int) time.Duration {
+	if n < 0 {
+		n = 0
+	}
+	return l.Latency + time.Duration(int64(n)*l.PicosPerByte/1000)*time.Nanosecond
+}
+
+// BandwidthGBps builds the per-byte gap (in picoseconds) for a bandwidth
+// expressed in gigabytes per second (1 GB = 1e9 bytes).
+func BandwidthGBps(gbps float64) int64 {
+	if gbps <= 0 {
+		return 0
+	}
+	return int64(1000/gbps + 0.5)
+}
+
+// Topology maps ranks onto nodes and chooses the link model for each pair.
+type Topology struct {
+	RanksPerNode int
+	Intra        Link // same-node communication (shared memory)
+	Inter        Link // cross-node communication (Aries)
+}
+
+// NodeOf returns the node index hosting the given rank.
+func (t *Topology) NodeOf(rank int) int {
+	if t.RanksPerNode <= 0 {
+		return rank
+	}
+	return rank / t.RanksPerNode
+}
+
+// Between returns the link model used between two ranks.
+func (t *Topology) Between(a, b int) Link {
+	if t.NodeOf(a) == t.NodeOf(b) {
+		return t.Intra
+	}
+	return t.Inter
+}
+
+// String describes the topology for experiment logs.
+func (t *Topology) String() string {
+	return fmt.Sprintf("topology{ranks/node=%d intra=(%v,%dps/B) inter=(%v,%dps/B)}",
+		t.RanksPerNode, t.Intra.Latency, t.Intra.PicosPerByte, t.Inter.Latency, t.Inter.PicosPerByte)
+}
+
+// CoriHaswell returns a topology calibrated against the Cori Haswell
+// partition used in the paper: 32-core nodes on an Aries dragonfly network
+// (~0.9 us MPI-visible wire latency, ~9.5 GB/s effective point-to-point
+// bandwidth) with shared-memory communication within a node.
+func CoriHaswell(ranksPerNode int) *Topology {
+	return &Topology{
+		RanksPerNode: ranksPerNode,
+		Intra:        Link{Latency: 300 * time.Nanosecond, PicosPerByte: BandwidthGBps(28)},
+		Inter:        Link{Latency: 900 * time.Nanosecond, PicosPerByte: BandwidthGBps(9.5)},
+	}
+}
+
+// Loopback returns a zero-cost topology, useful in unit tests that care
+// about protocol behaviour rather than timing.
+func Loopback() *Topology {
+	return &Topology{RanksPerNode: 1 << 30}
+}

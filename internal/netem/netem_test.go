@@ -1,0 +1,101 @@
+package netem
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLinkCost(t *testing.T) {
+	l := Link{Latency: time.Microsecond, PicosPerByte: 1000} // 1 ns/B
+	if got := l.Cost(0); got != time.Microsecond {
+		t.Fatalf("Cost(0) = %v, want 1us", got)
+	}
+	if got := l.Cost(1000); got != time.Microsecond+1000*time.Nanosecond {
+		t.Fatalf("Cost(1000) = %v, want 2us", got)
+	}
+	if got := l.Cost(-5); got != time.Microsecond {
+		t.Fatalf("Cost(-5) = %v, want latency only", got)
+	}
+}
+
+func TestBandwidthGBps(t *testing.T) {
+	// 1 GB/s => 1 ns = 1000 ps per byte.
+	if got := BandwidthGBps(1); got != 1000 {
+		t.Fatalf("BandwidthGBps(1) = %v, want 1000 ps", got)
+	}
+	if got := BandwidthGBps(0); got != 0 {
+		t.Fatalf("BandwidthGBps(0) = %v, want 0", got)
+	}
+	if got := BandwidthGBps(-3); got != 0 {
+		t.Fatalf("BandwidthGBps(-3) = %v, want 0", got)
+	}
+	// Sub-nanosecond gaps must not vanish: 9.5 GB/s is ~105 ps/B, so a
+	// 512 KiB transfer costs ~55 us.
+	l := Link{PicosPerByte: BandwidthGBps(9.5)}
+	if c := l.Cost(512 << 10); c < 50*time.Microsecond || c > 60*time.Microsecond {
+		t.Fatalf("512KiB at 9.5GB/s = %v, want ~55us", c)
+	}
+}
+
+func TestTopologyNodePlacement(t *testing.T) {
+	topo := CoriHaswell(32)
+	if topo.NodeOf(0) != 0 || topo.NodeOf(31) != 0 {
+		t.Fatal("ranks 0..31 should live on node 0")
+	}
+	if topo.NodeOf(32) != 1 {
+		t.Fatal("rank 32 should live on node 1")
+	}
+	if topo.Between(0, 31) != topo.Intra {
+		t.Fatal("same-node pair should use intra link")
+	}
+	if topo.Between(0, 32) != topo.Inter {
+		t.Fatal("cross-node pair should use inter link")
+	}
+}
+
+func TestIntraFasterThanInter(t *testing.T) {
+	topo := CoriHaswell(32)
+	for _, n := range []int{8, 128, 2048, 16 << 10, 512 << 10} {
+		if topo.Intra.Cost(n) >= topo.Inter.Cost(n) {
+			t.Fatalf("intra cost %v >= inter cost %v at %d bytes", topo.Intra.Cost(n), topo.Inter.Cost(n), n)
+		}
+	}
+}
+
+// Property: cost is monotone non-decreasing in message size.
+func TestQuickCostMonotone(t *testing.T) {
+	l := CoriHaswell(32).Inter
+	f := func(a, b uint32) bool {
+		x, y := int(a%(1<<22)), int(b%(1<<22))
+		if x > y {
+			x, y = y, x
+		}
+		return l.Cost(x) <= l.Cost(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeOfDegenerate(t *testing.T) {
+	topo := &Topology{} // RanksPerNode 0: every rank its own node
+	if topo.NodeOf(7) != 7 {
+		t.Fatalf("NodeOf(7) = %d", topo.NodeOf(7))
+	}
+}
+
+func TestLoopbackAndString(t *testing.T) {
+	l := Loopback()
+	if l.Between(0, 999) != l.Intra {
+		t.Fatal("loopback should place everyone on one node")
+	}
+	if l.Intra.Cost(1<<20) != 0 {
+		t.Fatal("loopback transfers must be free")
+	}
+	s := CoriHaswell(32).String()
+	if !strings.Contains(s, "ranks/node=32") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,110 @@
+// Package render is the software rendering substrate standing in for
+// ParaView's rendering backend: a z-buffered triangle rasterizer with
+// per-vertex shading for surface pipelines, and a depth-sorted splatter
+// for volume pipelines. Each staging server renders only its local data;
+// the partial framebuffers (color + depth) are then merged by the IceT
+// analog (internal/icet), which is where the only communication of the
+// whole visualization happens — the property that makes in situ rendering
+// "embarrassingly parallel [...] requiring communication only for a final
+// image-compositing step" (paper, Sec. III-C2).
+package render
+
+import "math"
+
+// Vec3 is a 3-component vector.
+type Vec3 [3]float64
+
+// Sub returns a - b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a[0] - b[0], a[1] - b[1], a[2] - b[2]} }
+
+// Add returns a + b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a[0] + b[0], a[1] + b[1], a[2] + b[2]} }
+
+// Scale returns a * s.
+func (a Vec3) Scale(s float64) Vec3 { return Vec3{a[0] * s, a[1] * s, a[2] * s} }
+
+// Dot returns the dot product.
+func (a Vec3) Dot(b Vec3) float64 { return a[0]*b[0] + a[1]*b[1] + a[2]*b[2] }
+
+// Cross returns the cross product.
+func (a Vec3) Cross(b Vec3) Vec3 {
+	return Vec3{
+		a[1]*b[2] - a[2]*b[1],
+		a[2]*b[0] - a[0]*b[2],
+		a[0]*b[1] - a[1]*b[0],
+	}
+}
+
+// Norm returns the Euclidean length.
+func (a Vec3) Norm() float64 { return math.Sqrt(a.Dot(a)) }
+
+// Normalize returns a unit-length copy (zero stays zero).
+func (a Vec3) Normalize() Vec3 {
+	n := a.Norm()
+	if n == 0 {
+		return a
+	}
+	return a.Scale(1 / n)
+}
+
+// Mat4 is a column-major 4x4 matrix (m[col*4+row]).
+type Mat4 [16]float64
+
+// Identity returns the identity matrix.
+func Identity() Mat4 {
+	var m Mat4
+	m[0], m[5], m[10], m[15] = 1, 1, 1, 1
+	return m
+}
+
+// Mul returns a * b.
+func (a Mat4) Mul(b Mat4) Mat4 {
+	var out Mat4
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			var s float64
+			for k := 0; k < 4; k++ {
+				s += a[k*4+r] * b[c*4+k]
+			}
+			out[c*4+r] = s
+		}
+	}
+	return out
+}
+
+// MulPoint applies the matrix to (v, 1) and returns the transformed
+// homogeneous coordinates.
+func (a Mat4) MulPoint(v Vec3) (x, y, z, w float64) {
+	x = a[0]*v[0] + a[4]*v[1] + a[8]*v[2] + a[12]
+	y = a[1]*v[0] + a[5]*v[1] + a[9]*v[2] + a[13]
+	z = a[2]*v[0] + a[6]*v[1] + a[10]*v[2] + a[14]
+	w = a[3]*v[0] + a[7]*v[1] + a[11]*v[2] + a[15]
+	return
+}
+
+// LookAt builds a right-handed view matrix.
+func LookAt(eye, center, up Vec3) Mat4 {
+	f := center.Sub(eye).Normalize()
+	s := f.Cross(up.Normalize()).Normalize()
+	u := s.Cross(f)
+	m := Identity()
+	m[0], m[4], m[8] = s[0], s[1], s[2]
+	m[1], m[5], m[9] = u[0], u[1], u[2]
+	m[2], m[6], m[10] = -f[0], -f[1], -f[2]
+	m[12] = -s.Dot(eye)
+	m[13] = -u.Dot(eye)
+	m[14] = f.Dot(eye)
+	return m
+}
+
+// Perspective builds a perspective projection (fovy in radians).
+func Perspective(fovy, aspect, near, far float64) Mat4 {
+	t := math.Tan(fovy / 2)
+	var m Mat4
+	m[0] = 1 / (aspect * t)
+	m[5] = 1 / t
+	m[10] = -(far + near) / (far - near)
+	m[11] = -1
+	m[14] = -2 * far * near / (far - near)
+	return m
+}

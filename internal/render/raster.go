@@ -1,0 +1,166 @@
+package render
+
+import (
+	"math"
+
+	"colza/internal/vtk"
+)
+
+// Camera describes the view. FovY is in degrees.
+type Camera struct {
+	Eye, LookAt, Up Vec3
+	FovY            float64
+	Near, Far       float64
+}
+
+// DefaultCamera frames the axis-aligned box [lo, hi] from a three-quarter
+// view.
+func DefaultCamera(lo, hi Vec3) Camera {
+	center := lo.Add(hi).Scale(0.5)
+	diag := hi.Sub(lo).Norm()
+	if diag == 0 {
+		diag = 1
+	}
+	eye := center.Add(Vec3{1.1, 0.8, 1.4}.Normalize().Scale(diag * 1.4))
+	return Camera{
+		Eye: eye, LookAt: center, Up: Vec3{0, 1, 0},
+		FovY: 45, Near: diag * 0.01, Far: diag * 10,
+	}
+}
+
+// viewProjection composes the camera matrices.
+func (c Camera) viewProjection(aspect float64) Mat4 {
+	near, far := c.Near, c.Far
+	if near <= 0 {
+		near = 0.1
+	}
+	if far <= near {
+		far = near * 1000
+	}
+	fov := c.FovY
+	if fov <= 0 {
+		fov = 45
+	}
+	return Perspective(fov*math.Pi/180, aspect, near, far).Mul(LookAt(c.Eye, c.LookAt, c.Up))
+}
+
+// RasterizeMesh renders a triangle mesh into the framebuffer with
+// z-buffering, per-vertex colors from the scalar field, and Lambertian
+// shading against a headlight. scalarRange normalizes scalars into the
+// colormap domain.
+func RasterizeMesh(im *Image, cam Camera, mesh *vtk.TriangleMesh, cmap ColorMap, scalarRange [2]float64) {
+	if mesh.NumTriangles() == 0 {
+		return
+	}
+	vp := cam.viewProjection(float64(im.W) / float64(im.H))
+	lightDir := cam.LookAt.Sub(cam.Eye).Normalize().Scale(-1)
+	span := scalarRange[1] - scalarRange[0]
+	if span == 0 {
+		span = 1
+	}
+	nt := mesh.NumTriangles()
+	var sx, sy, sz [3]float64
+	var colR, colG, colB [3]float64
+	for t := 0; t < nt; t++ {
+		visible := true
+		for v := 0; v < 3; v++ {
+			base := 9*t + 3*v
+			p := Vec3{
+				float64(mesh.Positions[base]),
+				float64(mesh.Positions[base+1]),
+				float64(mesh.Positions[base+2]),
+			}
+			x, y, z, w := vp.MulPoint(p)
+			if w <= 1e-9 {
+				visible = false
+				break
+			}
+			sx[v] = (x/w + 1) * 0.5 * float64(im.W)
+			sy[v] = (1 - y/w) * 0.5 * float64(im.H)
+			sz[v] = z / w
+
+			n := Vec3{
+				float64(mesh.Normals[base]),
+				float64(mesh.Normals[base+1]),
+				float64(mesh.Normals[base+2]),
+			}
+			diff := math.Abs(n.Dot(lightDir)) // two-sided shading
+			shade := 0.25 + 0.75*diff
+			sc := (float64(mesh.Scalars[3*t+v]) - scalarRange[0]) / span
+			r, g, b := cmap(sc)
+			colR[v] = float64(r) * shade
+			colG[v] = float64(g) * shade
+			colB[v] = float64(b) * shade
+		}
+		if !visible {
+			continue
+		}
+		fillTriangle(im, sx, sy, sz, colR, colG, colB)
+	}
+}
+
+// fillTriangle rasterizes one screen-space triangle with barycentric
+// interpolation and a z-buffer test.
+func fillTriangle(im *Image, sx, sy, sz [3]float64, cr, cg, cb [3]float64) {
+	minX := int(math.Floor(math.Min(sx[0], math.Min(sx[1], sx[2]))))
+	maxX := int(math.Ceil(math.Max(sx[0], math.Max(sx[1], sx[2]))))
+	minY := int(math.Floor(math.Min(sy[0], math.Min(sy[1], sy[2]))))
+	maxY := int(math.Ceil(math.Max(sy[0], math.Max(sy[1], sy[2]))))
+	if minX < 0 {
+		minX = 0
+	}
+	if minY < 0 {
+		minY = 0
+	}
+	if maxX >= im.W {
+		maxX = im.W - 1
+	}
+	if maxY >= im.H {
+		maxY = im.H - 1
+	}
+	if minX > maxX || minY > maxY {
+		return
+	}
+	x0, y0, x1, y1, x2, y2 := sx[0], sy[0], sx[1], sy[1], sx[2], sy[2]
+	area := (x1-x0)*(y2-y0) - (x2-x0)*(y1-y0)
+	if math.Abs(area) < 1e-12 {
+		return
+	}
+	inv := 1 / area
+	for py := minY; py <= maxY; py++ {
+		fy := float64(py) + 0.5
+		for px := minX; px <= maxX; px++ {
+			fx := float64(px) + 0.5
+			w0 := ((x1-fx)*(y2-fy) - (x2-fx)*(y1-fy)) * inv
+			w1 := ((x2-fx)*(y0-fy) - (x0-fx)*(y2-fy)) * inv
+			w2 := 1 - w0 - w1
+			if w0 < 0 || w1 < 0 || w2 < 0 {
+				continue
+			}
+			z := float32(w0*sz[0] + w1*sz[1] + w2*sz[2])
+			idx := py*im.W + px
+			if z >= im.Depth[idx] {
+				continue
+			}
+			im.Depth[idx] = z
+			r := w0*cr[0] + w1*cr[1] + w2*cr[2]
+			g := w0*cg[0] + w1*cg[1] + w2*cg[2]
+			b := w0*cb[0] + w1*cb[1] + w2*cb[2]
+			o := 4 * idx
+			im.RGBA[o] = clamp8(r)
+			im.RGBA[o+1] = clamp8(g)
+			im.RGBA[o+2] = clamp8(b)
+			im.RGBA[o+3] = 255
+		}
+	}
+}
+
+func clamp8(v float64) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 255 {
+		return 255
+	}
+	return uint8(v)
+}

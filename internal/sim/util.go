@@ -1,0 +1,9 @@
+package sim
+
+import "colza/internal/vtk"
+
+// DecodeRoundTrip encodes and decodes an unstructured grid — a staging
+// codec check used by tests and examples.
+func DecodeRoundTrip(g *vtk.UnstructuredGrid) (*vtk.UnstructuredGrid, error) {
+	return vtk.DecodeUnstructuredGrid(g.Encode())
+}

@@ -1,0 +1,129 @@
+package ssg
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"colza/internal/margo"
+	"colza/internal/na"
+)
+
+// TestRejoinAfterLeave: a process that left can start a fresh group
+// participation on a new endpoint and be adopted again.
+func TestRejoinAfterLeave(t *testing.T) {
+	net := na.NewInprocNetwork()
+	nodes := cluster(t, net, 3)
+	waitConverged(t, nodes, 3, 5*time.Second)
+
+	nodes[2].g.Leave()
+	waitConverged(t, nodes[:2], 2, 5*time.Second)
+
+	// Rejoin with a fresh endpoint (a restarted daemon).
+	ep, _ := net.Listen("rejoiner")
+	mi := margo.NewInstance(ep)
+	defer mi.Finalize()
+	g, err := Join(mi, "grp", nodes[0].mi.Addr(), fastCfg(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(nodes[:2], &node{mi: mi, g: g})
+	waitConverged(t, all, 3, 5*time.Second)
+}
+
+// TestTwoGroupsShareOneInstance: distinct group names on the same margo
+// instance stay isolated (the provider-prefix multiplexing).
+func TestTwoGroupsShareOneInstance(t *testing.T) {
+	net := na.NewInprocNetwork()
+	mkInst := func(name string) *margo.Instance {
+		ep, err := net.Listen(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mi := margo.NewInstance(ep)
+		t.Cleanup(mi.Finalize)
+		return mi
+	}
+	a := mkInst("multi-a")
+	b := mkInst("multi-b")
+	c := mkInst("multi-c")
+
+	gRed, err := Create(a, "red", fastCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gBlue, err := Create(a, "blue", fastCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b joins red only; c joins blue only.
+	gRedB, err := Join(b, "red", a.Addr(), fastCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gBlueC, err := Join(c, "blue", a.Addr(), fastCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(gRed.Members()) == 2 && len(gBlue.Members()) == 2 &&
+			len(gRedB.Members()) == 2 && len(gBlueC.Members()) == 2 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if len(gRed.Members()) != 2 || len(gBlue.Members()) != 2 {
+		t.Fatalf("red=%v blue=%v", gRed.Members(), gBlue.Members())
+	}
+	for _, m := range gRed.Members() {
+		if m == c.Addr() {
+			t.Fatal("red group absorbed a blue-only member")
+		}
+	}
+}
+
+// TestConcurrentJoinBurst: several joiners arriving at once all converge.
+func TestConcurrentJoinBurst(t *testing.T) {
+	net := na.NewInprocNetwork()
+	seed := cluster(t, net, 1)
+	const joiners = 6
+	var wg sync.WaitGroup
+	groups := make([]*Group, joiners)
+	mis := make([]*margo.Instance, joiners)
+	for i := 0; i < joiners; i++ {
+		ep, err := net.Listen(groupName(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mis[i] = margo.NewInstance(ep)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, err := Join(mis[i], "grp", seed[0].mi.Addr(), fastCfg(int64(i+10)))
+			if err != nil {
+				t.Errorf("joiner %d: %v", i, err)
+				return
+			}
+			groups[i] = g
+		}(i)
+	}
+	wg.Wait()
+	t.Cleanup(func() {
+		for _, mi := range mis {
+			mi.Finalize()
+		}
+	})
+	nodes := append([]*node(nil), seed...)
+	for i := range groups {
+		if groups[i] == nil {
+			t.Fatal("a joiner failed")
+		}
+		nodes = append(nodes, &node{mi: mis[i], g: groups[i]})
+	}
+	waitConverged(t, nodes, joiners+1, 10*time.Second)
+}
+
+func groupName(i int) string {
+	return "burst-" + string(rune('a'+i))
+}

@@ -1,0 +1,228 @@
+// Package staging implements the two state-of-the-art staging frameworks
+// the paper compares Colza against in Figure 8: Damaris (dedicated-core /
+// dedicated-node staging carved out of MPI_COMM_WORLD) and DataSpaces (a
+// static Margo-based staging service). Both reuse the same rendering
+// pipeline as Colza, exactly as the paper arranged via Damaris plugins and
+// DataSpaces integration.
+//
+// The baselines also encode the structural restrictions the paper lists
+// for Damaris — restrictions Colza removes:
+//
+//   - Damaris splits MPI_COMM_WORLD, so the application must be modified
+//     to use the split communicator, and deployment is fixed at startup.
+//   - The number of dedicated processes must divide the number of client
+//     processes.
+//   - Clients and servers must be launched together, with the same
+//     launcher parameters.
+//   - Each client signals its own server independently; a server enters
+//     the analysis plugin as soon as its own clients have signaled and
+//     then waits for the other servers inside the plugin's collectives —
+//     the trigger skew the paper uses to explain Damaris's slower Fig. 8
+//     times.
+package staging
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"colza/internal/catalyst"
+	"colza/internal/minimpi"
+	"colza/internal/render"
+	"colza/internal/vtk"
+)
+
+// DamarisConfig configures a Damaris deployment.
+type DamarisConfig struct {
+	Clients int // client ranks in MPI_COMM_WORLD
+	Servers int // dedicated staging ranks; must divide Clients
+	Iso     catalyst.IsoConfig
+}
+
+// Damaris is a static, world-split staging deployment.
+type Damaris struct {
+	cfg     DamarisConfig
+	world   []*minimpi.Comm
+	clients []*DamarisClient
+	servers []*damarisServer
+	wg      sync.WaitGroup
+}
+
+// DamarisClient is one application rank's interface to Damaris: write
+// blocks, then signal the iteration's end.
+type DamarisClient struct {
+	d    *Damaris
+	rank int // client index
+	srv  *damarisServer
+}
+
+type damarisServer struct {
+	idx      int
+	sub      *minimpi.Comm // server-group communicator (split from world)
+	nclients int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	staged  map[uint64][]*vtk.ImageData
+	signals map[uint64]int
+	stopped bool
+
+	results chan DamarisResult
+}
+
+// DamarisResult is one server's measurement of one plugin execution.
+type DamarisResult struct {
+	Server     int
+	Iteration  uint64
+	EnterTime  time.Time // when this server entered the plugin
+	PluginSecs float64   // total time inside the plugin (including waiting for peers)
+	Stats      catalyst.Stats
+	Image      *render.Image // non-nil on server 0
+	Err        error
+}
+
+// DeployDamaris builds the static deployment: a world of Clients+Servers
+// ranks split by color, mirroring Damaris's dedicated-node mode. It
+// enforces the divisibility restriction.
+func DeployDamaris(cfg DamarisConfig) (*Damaris, error) {
+	if cfg.Servers <= 0 || cfg.Clients <= 0 {
+		return nil, fmt.Errorf("damaris: need positive client and server counts")
+	}
+	if cfg.Clients%cfg.Servers != 0 {
+		return nil, fmt.Errorf("damaris: %d dedicated processes do not divide %d clients (Damaris restriction)", cfg.Servers, cfg.Clients)
+	}
+	d := &Damaris{cfg: cfg}
+	d.world = minimpi.World(cfg.Clients + cfg.Servers)
+	perServer := cfg.Clients / cfg.Servers
+
+	// Split the world: color 0 = clients, color 1 = servers. Every rank
+	// participates (collective), as MPI_Comm_split requires.
+	subs := make([]*minimpi.Comm, len(d.world))
+	var wg sync.WaitGroup
+	errs := make([]error, len(d.world))
+	for r := range d.world {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			color := 0
+			if r >= cfg.Clients {
+				color = 1
+			}
+			subs[r], errs[r] = d.world[r].Split(color, r)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for s := 0; s < cfg.Servers; s++ {
+		srv := &damarisServer{
+			idx:      s,
+			sub:      subs[cfg.Clients+s],
+			nclients: perServer,
+			staged:   make(map[uint64][]*vtk.ImageData),
+			signals:  make(map[uint64]int),
+			results:  make(chan DamarisResult, 64),
+		}
+		srv.cond = sync.NewCond(&srv.mu)
+		d.servers = append(d.servers, srv)
+		d.wg.Add(1)
+		go func(srv *damarisServer) {
+			defer d.wg.Done()
+			srv.run(cfg.Iso)
+		}(srv)
+	}
+	for c := 0; c < cfg.Clients; c++ {
+		d.clients = append(d.clients, &DamarisClient{
+			d:    d,
+			rank: c,
+			srv:  d.servers[c/perServer],
+		})
+	}
+	return d, nil
+}
+
+// Clients returns the per-rank client handles.
+func (d *Damaris) Clients() []*DamarisClient { return d.clients }
+
+// Results returns the result stream of server s.
+func (d *Damaris) Results(s int) <-chan DamarisResult { return d.servers[s].results }
+
+// Shutdown stops the servers and finalizes the world.
+func (d *Damaris) Shutdown() {
+	for _, s := range d.servers {
+		s.mu.Lock()
+		s.stopped = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+	d.wg.Wait()
+	d.world[0].Finalize()
+}
+
+// Write stages one block with this client's dedicated server (the
+// shared-memory write in real Damaris).
+func (c *DamarisClient) Write(iteration uint64, img *vtk.ImageData) {
+	s := c.srv
+	s.mu.Lock()
+	s.staged[iteration] = append(s.staged[iteration], img)
+	s.mu.Unlock()
+}
+
+// Signal marks this client's end-of-iteration, the damaris_signal call.
+// When all clients of one server have signaled, that server enters the
+// plugin — independently of the other servers.
+func (c *DamarisClient) Signal(iteration uint64) {
+	s := c.srv
+	s.mu.Lock()
+	s.signals[iteration]++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// run is the server loop: wait for the local signal quorum, enter the
+// plugin (which synchronizes with the other servers through its own
+// collectives), report, repeat.
+func (s *damarisServer) run(cfg catalyst.IsoConfig) {
+	ctrl := vtk.NewController("mpi", s.sub)
+	for iter := uint64(1); ; iter++ {
+		s.mu.Lock()
+		for s.signals[iter] < s.nclients && !s.stopped {
+			s.cond.Wait()
+		}
+		if s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		blocks := s.staged[iter]
+		delete(s.staged, iter)
+		delete(s.signals, iter)
+		s.mu.Unlock()
+
+		enter := time.Now()
+		// The plugin's first act is a barrier-equivalent collective: the
+		// early servers wait here for the stragglers (the paper's
+		// explanation for Damaris's extra time).
+		var res DamarisResult
+		res.Server = s.idx
+		res.Iteration = iter
+		res.EnterTime = enter
+		if err := s.sub.Barrier(9000 + int(iter)); err != nil {
+			res.Err = err
+			s.results <- res
+			return
+		}
+		st, img, err := catalyst.ExecuteIso(ctrl, blocks, cfg)
+		res.Stats = st
+		res.Image = img
+		res.Err = err
+		res.PluginSecs = time.Since(enter).Seconds()
+		s.results <- res
+		if err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package staging
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"colza/internal/catalyst"
+	"colza/internal/margo"
+	"colza/internal/mercury"
+	"colza/internal/minimpi"
+	"colza/internal/na"
+	"colza/internal/render"
+	"colza/internal/vtk"
+)
+
+// DataSpaces models the refactored, Margo-based DataSpaces service the
+// paper compares against: a static set of staging servers reachable over
+// RPC, with RDMA-style data puts and a single execution trigger. It has
+// none of Damaris's world-split restrictions, but unlike Colza it cannot
+// change size at run time: the server group and its communicator are
+// fixed at deployment (so its pipelines can run over the static "MPI"
+// layer, as in the paper where DataSpaces used the same MPI pipeline as
+// Colza+MPI).
+type DataSpaces struct {
+	cfg     DataSpacesConfig
+	mis     []*margo.Instance
+	servers []*dsServer
+	world   []*minimpi.Comm
+}
+
+// DataSpacesConfig configures a deployment.
+type DataSpacesConfig struct {
+	Servers int
+	Iso     catalyst.IsoConfig
+}
+
+type dsServer struct {
+	idx  int
+	mi   *margo.Instance
+	comm *minimpi.Comm
+
+	mu     sync.Mutex
+	staged map[uint64][]*vtk.ImageData
+}
+
+// DSResult is one server's measurement of an Exec.
+type DSResult struct {
+	Server     int
+	PluginSecs float64
+	Stats      catalyst.Stats
+	Image      *render.Image
+	Err        error
+}
+
+// DeployDataSpaces starts the static staging servers on the given
+// in-process network.
+func DeployDataSpaces(net *na.InprocNetwork, cfg DataSpacesConfig) (*DataSpaces, error) {
+	if cfg.Servers <= 0 {
+		return nil, fmt.Errorf("dataspaces: need at least one server")
+	}
+	ds := &DataSpaces{cfg: cfg, world: minimpi.World(cfg.Servers)}
+	for s := 0; s < cfg.Servers; s++ {
+		ep, err := net.Listen(fmt.Sprintf("dataspaces-%d-%d", s, time.Now().UnixNano()))
+		if err != nil {
+			return nil, err
+		}
+		mi := margo.NewInstance(ep)
+		srv := &dsServer{idx: s, mi: mi, comm: ds.world[s], staged: make(map[uint64][]*vtk.ImageData)}
+		mi.RegisterProviderRPC("dspaces", "put", srv.handlePut)
+		ds.mis = append(ds.mis, mi)
+		ds.servers = append(ds.servers, srv)
+	}
+	return ds, nil
+}
+
+// Addrs returns the server addresses (for clients that put over RPC).
+func (ds *DataSpaces) Addrs() []string {
+	out := make([]string, len(ds.mis))
+	for i, mi := range ds.mis {
+		out[i] = mi.Addr()
+	}
+	return out
+}
+
+func (s *dsServer) handlePut(req mercury.Request) ([]byte, error) {
+	// Payload: 8-byte iteration then the encoded block (data was pulled
+	// via bulk by the caller-side helper; here it arrives inline for
+	// simplicity of the baseline).
+	if len(req.Payload) < 8 {
+		return nil, fmt.Errorf("dataspaces: short put")
+	}
+	var iter uint64
+	for i := 0; i < 8; i++ {
+		iter |= uint64(req.Payload[i]) << (8 * i)
+	}
+	img, err := vtk.DecodeImageData(req.Payload[8:])
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.staged[iter] = append(s.staged[iter], img)
+	s.mu.Unlock()
+	return []byte("ok"), nil
+}
+
+// Put stages a block with server blockID % Servers through the client's
+// Margo instance.
+func (ds *DataSpaces) Put(client *margo.Instance, iteration uint64, blockID int, img *vtk.ImageData) error {
+	target := ds.Addrs()[blockID%ds.cfg.Servers]
+	enc := img.Encode()
+	payload := make([]byte, 8+len(enc))
+	for i := 0; i < 8; i++ {
+		payload[i] = byte(iteration >> (8 * i))
+	}
+	copy(payload[8:], enc)
+	_, err := client.CallProvider(target, "dspaces", "put", payload, 30*time.Second)
+	return err
+}
+
+// Exec triggers the pipeline on every server for the iteration (a single
+// trigger, like Colza's execute, unlike Damaris's per-client signals) and
+// waits for completion. It returns per-server results; the composited
+// image is on server 0's result.
+func (ds *DataSpaces) Exec(iteration uint64) []DSResult {
+	out := make([]DSResult, len(ds.servers))
+	var wg sync.WaitGroup
+	for i, srv := range ds.servers {
+		wg.Add(1)
+		go func(i int, srv *dsServer) {
+			defer wg.Done()
+			srv.mu.Lock()
+			blocks := srv.staged[iteration]
+			delete(srv.staged, iteration)
+			srv.mu.Unlock()
+			start := time.Now()
+			ctrl := vtk.NewController("mpi", srv.comm)
+			st, img, err := catalyst.ExecuteIso(ctrl, blocks, ds.cfg.Iso)
+			out[i] = DSResult{Server: i, PluginSecs: time.Since(start).Seconds(), Stats: st, Image: img, Err: err}
+		}(i, srv)
+	}
+	wg.Wait()
+	return out
+}
+
+// Shutdown finalizes servers; DataSpaces cannot resize, only stop.
+func (ds *DataSpaces) Shutdown() {
+	for _, mi := range ds.mis {
+		mi.Finalize()
+	}
+	ds.world[0].Finalize()
+}

@@ -1,0 +1,149 @@
+package staging
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"colza/internal/catalyst"
+	"colza/internal/margo"
+	"colza/internal/na"
+	"colza/internal/sim"
+)
+
+func isoCfg() catalyst.IsoConfig {
+	return catalyst.IsoConfig{
+		Field: "value", IsoValues: []float64{8}, Width: 48, Height: 48,
+		ScalarRange: [2]float64{0, 32},
+	}
+}
+
+func TestDamarisDivisibilityRestriction(t *testing.T) {
+	if _, err := DeployDamaris(DamarisConfig{Clients: 7, Servers: 2, Iso: isoCfg()}); err == nil {
+		t.Fatal("7 clients / 2 servers must be rejected (Damaris restriction)")
+	}
+	if _, err := DeployDamaris(DamarisConfig{Clients: 0, Servers: 1}); err == nil {
+		t.Fatal("zero clients must be rejected")
+	}
+}
+
+func TestDamarisEndToEnd(t *testing.T) {
+	cfg := sim.DefaultMandelbulb([3]int{12, 12, 8}, 4)
+	d, err := DeployDamaris(DamarisConfig{Clients: 4, Servers: 2, Iso: isoCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+	var wg sync.WaitGroup
+	for c, cl := range d.Clients() {
+		wg.Add(1)
+		go func(c int, cl *DamarisClient) {
+			defer wg.Done()
+			blk := sim.MandelbulbBlock(cfg, c, 1)
+			cl.Write(1, blk)
+			// Staggered signals: the skew Damaris servers absorb.
+			time.Sleep(time.Duration(c) * 2 * time.Millisecond)
+			cl.Signal(1)
+		}(c, cl)
+	}
+	wg.Wait()
+	r0 := <-d.Results(0)
+	r1 := <-d.Results(1)
+	for _, r := range []DamarisResult{r0, r1} {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Iteration != 1 {
+			t.Fatalf("iteration = %d", r.Iteration)
+		}
+	}
+	if r0.Image == nil || r0.Image.CoveredPixels() == 0 {
+		t.Fatal("server 0 produced no composited image")
+	}
+	if r0.Stats.LocalTriangles+r1.Stats.LocalTriangles == 0 {
+		t.Fatal("no triangles extracted")
+	}
+}
+
+func TestDamarisServerWaitsForItsOwnClientsOnly(t *testing.T) {
+	d, err := DeployDamaris(DamarisConfig{Clients: 4, Servers: 2, Iso: isoCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+	cls := d.Clients()
+	// Only server 0's clients (0, 1) signal; server 0 enters the plugin
+	// but must then block in the barrier for server 1 — so no result may
+	// appear on either channel yet.
+	cls[0].Signal(1)
+	cls[1].Signal(1)
+	select {
+	case r := <-d.Results(0):
+		t.Fatalf("server 0 finished (%+v) without server 1's clients signaling", r)
+	case <-time.After(50 * time.Millisecond):
+	}
+	cls[2].Signal(1)
+	cls[3].Signal(1)
+	select {
+	case r := <-d.Results(0):
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		// Server 0 entered early and waited: its plugin time includes the
+		// skew.
+		if r.PluginSecs < 0.04 {
+			t.Fatalf("server 0 plugin time %.3fs does not include the wait for server 1", r.PluginSecs)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadlock after all signals")
+	}
+	<-d.Results(1)
+}
+
+func TestDataSpacesEndToEnd(t *testing.T) {
+	net := na.NewInprocNetwork()
+	ds, err := DeployDataSpaces(net, DataSpacesConfig{Servers: 2, Iso: isoCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Shutdown()
+	ep, _ := net.Listen("ds-client")
+	client := margo.NewInstance(ep)
+	defer client.Finalize()
+
+	cfg := sim.DefaultMandelbulb([3]int{12, 12, 8}, 4)
+	for b := 0; b < 4; b++ {
+		blk := sim.MandelbulbBlock(cfg, b, 1)
+		if err := ds.Put(client, 1, b, blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results := ds.Exec(1)
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	tris := 0
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		tris += r.Stats.LocalTriangles
+	}
+	if tris == 0 {
+		t.Fatal("no triangles extracted")
+	}
+	if results[0].Image == nil || results[0].Image.CoveredPixels() == 0 {
+		t.Fatal("no composited image on server 0")
+	}
+	// Blocks spread across both servers.
+	if results[0].Stats.LocalTriangles == tris || results[1].Stats.LocalTriangles == tris {
+		t.Fatal("all blocks landed on one server; distribution broken")
+	}
+}
+
+func TestDataSpacesRejectsBadDeployment(t *testing.T) {
+	net := na.NewInprocNetwork()
+	if _, err := DeployDataSpaces(net, DataSpacesConfig{Servers: 0}); err == nil {
+		t.Fatal("zero servers must be rejected")
+	}
+}

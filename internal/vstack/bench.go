@@ -1,0 +1,143 @@
+package vstack
+
+import (
+	"fmt"
+	"time"
+
+	"colza/internal/collectives"
+	"colza/internal/dessim"
+	"colza/internal/netem"
+)
+
+// ComputePerByte models the reduction-operator cost per byte; the vendor
+// stack vectorizes its reduction kernels, MoNA does not (the paper notes
+// AVX2 would "further improve" MoNA's collectives).
+// computePerByte is expressed in picoseconds per byte and applied in
+// aggregate per fold (sub-nanosecond units do not exist in time.Duration).
+func (p Profile) computePicosPerByte() int64 {
+	switch p.Name {
+	case "cray-mpich", "openmpi":
+		return 80
+	default:
+		return 300
+	}
+}
+
+// PingPong measures `ops` one-way message completions of the given size
+// between two ranks on different nodes (ops/2 round trips), returning the
+// total virtual time — the Table I benchmark.
+func PingPong(profile Profile, topo *netem.Topology, size, ops int) (time.Duration, error) {
+	s := dessim.New(1)
+	f := NewFabric(s, topo, profile, 2)
+	payload := make([]byte, size)
+	rounds := ops / 2
+	if rounds < 1 {
+		rounds = 1
+	}
+	var end time.Duration
+	s.Spawn("rank0", func(p *dessim.Proc) {
+		ep := f.Rank(0, p)
+		for i := 0; i < rounds; i++ {
+			if err := ep.Send(1, i, payload); err != nil {
+				panic(err)
+			}
+			if _, err := ep.Recv(1, i); err != nil {
+				panic(err)
+			}
+		}
+		end = p.Now()
+	})
+	s.Spawn("rank1", func(p *dessim.Proc) {
+		ep := f.Rank(1, p)
+		for i := 0; i < rounds; i++ {
+			if _, err := ep.Recv(0, i); err != nil {
+				panic(err)
+			}
+			if err := ep.Send(0, i, payload); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err := s.Run(); err != nil {
+		return 0, fmt.Errorf("vstack: pingpong: %w", err)
+	}
+	return end, nil
+}
+
+// ReduceBench measures `count` binary-xor reduce operations of the given
+// payload size over nprocs ranks laid out ranksPerNode to a node — the
+// Table II benchmark. It returns the total virtual time for `count`
+// operations.
+func ReduceBench(profile Profile, topo *netem.Topology, nprocs, size, count int) (time.Duration, error) {
+	s := dessim.New(2)
+	f := NewFabric(s, topo, profile, nprocs)
+	algo := profile.AlgoFor(size)
+	picosPerByte := profile.computePicosPerByte()
+	var end time.Duration
+	for r := 0; r < nprocs; r++ {
+		r := r
+		s.Spawn(fmt.Sprintf("rank%d", r), func(p *dessim.Proc) {
+			ep := f.Rank(r, p)
+			data := make([]byte, size)
+			for i := range data {
+				data[i] = byte(r + i)
+			}
+			op := func(acc, in []byte) []byte {
+				p.Sleep(time.Duration(int64(len(in)) * picosPerByte / 1000))
+				return collectives.XorBytes(acc, in)
+			}
+			for i := 0; i < count; i++ {
+				if _, err := collectives.Reduce(ep, 0, i*4, data, op, algo); err != nil {
+					panic(err)
+				}
+			}
+			if r == 0 {
+				end = p.Now()
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		return 0, fmt.Errorf("vstack: reduce: %w", err)
+	}
+	return end, nil
+}
+
+// BcastBench measures `count` broadcasts (used by ablation A1 to compare
+// tree shapes).
+func BcastBench(profile Profile, topo *netem.Topology, nprocs, size, count int, algo collectives.Algorithm) (time.Duration, error) {
+	s := dessim.New(3)
+	f := NewFabric(s, topo, profile, nprocs)
+	// A broadcast is complete when the LAST rank holds the data (the root
+	// finishes sending long before the leaves finish receiving), so the
+	// result is the maximum completion time across ranks.
+	var end time.Duration
+	for r := 0; r < nprocs; r++ {
+		r := r
+		s.Spawn(fmt.Sprintf("rank%d", r), func(p *dessim.Proc) {
+			ep := f.Rank(r, p)
+			var data []byte
+			if r == 0 {
+				data = make([]byte, size)
+			}
+			for i := 0; i < count; i++ {
+				if _, err := collectives.Bcast(ep, 0, i*4, data, algo); err != nil {
+					panic(err)
+				}
+			}
+			if p.Now() > end {
+				end = p.Now()
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		return 0, fmt.Errorf("vstack: bcast: %w", err)
+	}
+	return end, nil
+}
+
+// InterNode is the topology used for the point-to-point benchmarks: both
+// ranks on different nodes of the Cori-calibrated network.
+func InterNode() *netem.Topology { return netem.CoriHaswell(1) }
+
+// Table2Topology is the Table II layout: 32 nodes x 16 ranks per node.
+func Table2Topology() *netem.Topology { return netem.CoriHaswell(16) }

@@ -1,0 +1,213 @@
+package vstack
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"colza/internal/collectives"
+	"colza/internal/dessim"
+	"colza/internal/netem"
+)
+
+func TestVirtualSendRecvDeliversData(t *testing.T) {
+	for _, pr := range []Profile{VendorMPI, OpenMPI, NA, MoNA} {
+		for _, size := range []int{8, 2048, 16 << 10, 512 << 10} {
+			s := dessim.New(1)
+			f := NewFabric(s, netem.CoriHaswell(1), pr, 2)
+			payload := make([]byte, size)
+			for i := range payload {
+				payload[i] = byte(i * 7)
+			}
+			var got []byte
+			s.Spawn("tx", func(p *dessim.Proc) {
+				if err := f.Rank(0, p).Send(1, 5, payload); err != nil {
+					t.Error(err)
+				}
+			})
+			s.Spawn("rx", func(p *dessim.Proc) {
+				d, err := f.Rank(1, p).Recv(0, 5)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got = d
+			})
+			if err := s.Run(); err != nil {
+				t.Fatalf("%s size=%d: %v", pr.Name, size, err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("%s size=%d: payload corrupted", pr.Name, size)
+			}
+		}
+	}
+}
+
+func TestPingPongShapeTable1(t *testing.T) {
+	topo := InterNode()
+	const ops = 1000
+	at := func(pr Profile, size int) time.Duration {
+		d, err := PingPong(pr, topo, size, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	// Small messages: vendor < openmpi < mona < na (Table I's 8 B column).
+	v8, o8, m8, n8 := at(VendorMPI, 8), at(OpenMPI, 8), at(MoNA, 8), at(NA, 8)
+	if !(v8 < o8 && o8 < m8 && m8 < n8) {
+		t.Fatalf("8B ordering wrong: vendor=%v openmpi=%v mona=%v na=%v", v8, o8, m8, n8)
+	}
+	// Vendor 8B latency lands in the ~1 us/op regime the paper reports.
+	perOp := v8 / ops
+	if perOp < 500*time.Nanosecond || perOp > 3*time.Microsecond {
+		t.Fatalf("vendor 8B per-op = %v, want ~1.2us", perOp)
+	}
+	// The crossover: at 16 KiB+, OpenMPI collapses (rendezvous stall) and
+	// MoNA overtakes it, while vendor stays fastest.
+	v16, o16, m16 := at(VendorMPI, 16<<10), at(OpenMPI, 16<<10), at(MoNA, 16<<10)
+	if !(v16 < m16 && m16 < o16) {
+		t.Fatalf("16KiB crossover missing: vendor=%v mona=%v openmpi=%v", v16, m16, o16)
+	}
+	if o16 < 3*m16 {
+		t.Fatalf("openmpi 16KiB (%v) should collapse well past mona (%v)", o16, m16)
+	}
+	// At 2 KiB (below all switch points) OpenMPI still beats MoNA.
+	o2, m2 := at(OpenMPI, 2<<10), at(MoNA, 2<<10)
+	if o2 > m2 {
+		t.Fatalf("2KiB: openmpi=%v should beat mona=%v", o2, m2)
+	}
+	// MoNA's buffer cache beats raw NA (Table I's NA column).
+	nc8 := at(MoNANoCache(), 8)
+	if m8 >= nc8 {
+		t.Fatalf("mona with cache (%v) should beat without (%v)", m8, nc8)
+	}
+}
+
+func TestReduceShapeTable2(t *testing.T) {
+	topo := Table2Topology()
+	const procs = 128 // scaled-down Table II group (512 in the paper)
+	const count = 5
+	at := func(pr Profile, size int) time.Duration {
+		d, err := ReduceBench(pr, topo, procs, size, count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	// Small reduces: vendor fastest, mona within a small factor.
+	v8, o8, m8 := at(VendorMPI, 8), at(OpenMPI, 8), at(MoNA, 8)
+	if !(v8 < o8 && v8 < m8) {
+		t.Fatalf("8B: vendor=%v not fastest (openmpi=%v mona=%v)", v8, o8, m8)
+	}
+	if m8 > 6*v8 {
+		t.Fatalf("8B: mona/vendor ratio %v too large", float64(m8)/float64(v8))
+	}
+	// Large reduces: openmpi degrades by orders of magnitude; mona stays
+	// within a single-digit factor of vendor — the Table II story.
+	v32, o32, m32 := at(VendorMPI, 32<<10), at(OpenMPI, 32<<10), at(MoNA, 32<<10)
+	if o32 < 50*v32 {
+		t.Fatalf("32KiB: openmpi (%v) should be orders of magnitude over vendor (%v)", o32, v32)
+	}
+	if m32 > 10*v32 {
+		t.Fatalf("32KiB: mona (%v) should stay within ~10x of vendor (%v)", m32, v32)
+	}
+	if m32*5 > o32 {
+		t.Fatalf("32KiB: mona (%v) should be far faster than openmpi (%v)", m32, o32)
+	}
+}
+
+func TestReduceCorrectnessOnVirtualStack(t *testing.T) {
+	// The virtual endpoints implement PT2PT: verify the actual reduced
+	// bytes, not just timing.
+	s := dessim.New(9)
+	f := NewFabric(s, netem.Loopback(), MoNA, 7)
+	want := make([]byte, 16)
+	var mu sync.Mutex
+	var got []byte
+	for r := 0; r < 7; r++ {
+		data := make([]byte, 16)
+		for i := range data {
+			data[i] = byte(r*13 + i)
+		}
+		collectives.XorBytes(want, data)
+		r := r
+		s.Spawn("r", func(p *dessim.Proc) {
+			ep := f.Rank(r, p)
+			local := make([]byte, 16)
+			for i := range local {
+				local[i] = byte(r*13 + i)
+			}
+			res, err := collectives.Reduce(ep, 0, 1, local, collectives.XorBytes, MoNA.Algo)
+			if err != nil {
+				t.Error(err)
+			}
+			if r == 0 {
+				mu.Lock()
+				got = res
+				mu.Unlock()
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("reduce result wrong: %v vs %v", got, want)
+	}
+}
+
+func TestAblationEagerLimitMovesCrossover(t *testing.T) {
+	topo := InterNode()
+	// Raising MoNA's RDMA threshold to 64KiB makes 16KiB messages eager
+	// (copied), changing their cost; the ablation must show a difference.
+	hi := MoNA.WithEagerLimit(64 << 10)
+	base, err := PingPong(MoNA, topo, 16<<10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := PingPong(hi, topo, 16<<10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == moved {
+		t.Fatal("eager-limit ablation had no effect at 16KiB")
+	}
+}
+
+func TestAblationTreeShapes(t *testing.T) {
+	topo := Table2Topology()
+	bin, err := BcastBench(VendorMPI, topo, 64, 1024, 4, collectives.Algorithm{Kind: collectives.Binomial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := BcastBench(VendorMPI, topo, 64, 1024, 4, collectives.Algorithm{Kind: collectives.Flat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kary, err := BcastBench(VendorMPI, topo, 64, 1024, 4, collectives.Algorithm{Kind: collectives.KAry, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin >= flat {
+		t.Fatalf("binomial bcast (%v) should beat flat (%v) at 64 ranks", bin, flat)
+	}
+	if kary >= flat {
+		t.Fatalf("4-ary bcast (%v) should beat flat (%v)", kary, flat)
+	}
+}
+
+func TestDeterministicVirtualTiming(t *testing.T) {
+	a, err := PingPong(MoNA, InterNode(), 4096, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PingPong(MoNA, InterNode(), 4096, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("virtual timing not deterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,139 @@
+// Package vtk implements the minimal VTK-like data model and filters the
+// Colza pipelines need: regular grids (ImageData), unstructured grids,
+// named data arrays, isosurface extraction, plane clipping, and block
+// merging — plus the vtkMultiProcessController-style parallel controller
+// abstraction whose dependency injection is what let the paper swap MPI
+// for MoNA without touching the filters.
+package vtk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDecode reports malformed serialized data.
+var ErrDecode = errors.New("vtk: malformed serialized dataset")
+
+// DataArray is a named array of float32 tuples (VTK's vtkDataArray).
+type DataArray struct {
+	Name       string
+	Components int
+	Data       []float32
+}
+
+// NewDataArray allocates an array of n tuples with comps components each.
+func NewDataArray(name string, comps, n int) *DataArray {
+	if comps < 1 {
+		comps = 1
+	}
+	return &DataArray{Name: name, Components: comps, Data: make([]float32, comps*n)}
+}
+
+// NumTuples returns the tuple count.
+func (a *DataArray) NumTuples() int {
+	if a.Components == 0 {
+		return 0
+	}
+	return len(a.Data) / a.Components
+}
+
+// Range returns the (min, max) over all components; (0, 0) for empty.
+func (a *DataArray) Range() (float32, float32) {
+	if len(a.Data) == 0 {
+		return 0, 0
+	}
+	lo, hi := float32(math.Inf(1)), float32(math.Inf(-1))
+	for _, v := range a.Data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// encodeArray serializes a DataArray.
+func encodeArray(buf []byte, a *DataArray) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(a.Name)))
+	buf = append(buf, tmp[:]...)
+	buf = append(buf, a.Name...)
+	binary.LittleEndian.PutUint32(tmp[:], uint32(a.Components))
+	buf = append(buf, tmp[:]...)
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(a.Data)))
+	buf = append(buf, tmp[:]...)
+	for _, v := range a.Data {
+		binary.LittleEndian.PutUint32(tmp[:], math.Float32bits(v))
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+func decodeArray(data []byte) (*DataArray, []byte, error) {
+	if len(data) < 4 {
+		return nil, nil, ErrDecode
+	}
+	nl := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if nl < 0 || len(data) < nl+8 {
+		return nil, nil, ErrDecode
+	}
+	a := &DataArray{Name: string(data[:nl])}
+	data = data[nl:]
+	a.Components = int(binary.LittleEndian.Uint32(data))
+	n := int(binary.LittleEndian.Uint32(data[4:]))
+	data = data[8:]
+	if a.Components < 1 || n < 0 || len(data) < 4*n {
+		return nil, nil, ErrDecode
+	}
+	a.Data = make([]float32, n)
+	for i := range a.Data {
+		a.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:]))
+	}
+	return a, data[4*n:], nil
+}
+
+func encodeArrays(buf []byte, arrays []*DataArray) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(arrays)))
+	buf = append(buf, tmp[:]...)
+	for _, a := range arrays {
+		buf = encodeArray(buf, a)
+	}
+	return buf
+}
+
+func decodeArrays(data []byte) ([]*DataArray, []byte, error) {
+	if len(data) < 4 {
+		return nil, nil, ErrDecode
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if n < 0 || n > 1<<20 {
+		return nil, nil, ErrDecode
+	}
+	out := make([]*DataArray, 0, n)
+	for i := 0; i < n; i++ {
+		a, rest, err := decodeArray(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, a)
+		data = rest
+	}
+	return out, data, nil
+}
+
+// findArray looks an array up by name.
+func findArray(arrays []*DataArray, name string) (*DataArray, error) {
+	for _, a := range arrays {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("vtk: no array named %q", name)
+}

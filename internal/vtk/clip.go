@@ -1,0 +1,76 @@
+package vtk
+
+// Plane is the half-space dot(Normal, p) >= Offset.
+type Plane struct {
+	Normal [3]float32
+	Offset float32
+}
+
+// Eval returns the signed distance-like value of p against the plane.
+func (pl Plane) Eval(p [3]float32) float32 {
+	return pl.Normal[0]*p[0] + pl.Normal[1]*p[1] + pl.Normal[2]*p[2] - pl.Offset
+}
+
+// ClipMesh keeps the part of the mesh on the positive side of the plane,
+// splitting crossing triangles (VTK's vtkClipPolyData). The Gray-Scott
+// pipeline combines this with multi-level isosurfaces to look inside the
+// domain, as in the paper's Figure 3a.
+func ClipMesh(m *TriangleMesh, pl Plane) *TriangleMesh {
+	out := &TriangleMesh{}
+	nt := m.NumTriangles()
+	for t := 0; t < nt; t++ {
+		var p [3][3]float32
+		var s [3]float32
+		var d [3]float32
+		for v := 0; v < 3; v++ {
+			base := 9*t + 3*v
+			p[v] = [3]float32{m.Positions[base], m.Positions[base+1], m.Positions[base+2]}
+			s[v] = m.Scalars[3*t+v]
+			d[v] = pl.Eval(p[v])
+		}
+		clipTriangle(out, p, s, d)
+	}
+	return out
+}
+
+// clipTriangle emits the clipped polygon of one triangle (0, 1, or 2
+// output triangles).
+func clipTriangle(out *TriangleMesh, p [3][3]float32, s [3]float32, d [3]float32) {
+	inside := 0
+	for _, v := range d {
+		if v >= 0 {
+			inside++
+		}
+	}
+	switch inside {
+	case 0:
+		return
+	case 3:
+		out.AddTriangle(p[0], p[1], p[2], s[0], s[1], s[2])
+		return
+	}
+	// Walk the triangle edges, Sutherland-Hodgman style, collecting the
+	// clipped polygon (3 or 4 vertices).
+	var poly [][3]float32
+	var polyS []float32
+	for i := 0; i < 3; i++ {
+		j := (i + 1) % 3
+		if d[i] >= 0 {
+			poly = append(poly, p[i])
+			polyS = append(polyS, s[i])
+		}
+		if (d[i] >= 0) != (d[j] >= 0) {
+			t := d[i] / (d[i] - d[j])
+			q := [3]float32{
+				p[i][0] + t*(p[j][0]-p[i][0]),
+				p[i][1] + t*(p[j][1]-p[i][1]),
+				p[i][2] + t*(p[j][2]-p[i][2]),
+			}
+			poly = append(poly, q)
+			polyS = append(polyS, s[i]+t*(s[j]-s[i]))
+		}
+	}
+	for i := 2; i < len(poly); i++ {
+		out.AddTriangle(poly[0], poly[i-1], poly[i], polyS[0], polyS[i-1], polyS[i])
+	}
+}

@@ -1,0 +1,141 @@
+package vtk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: a clipped mesh never has a vertex on the negative side of the
+// plane (beyond float tolerance), for arbitrary planes.
+func TestQuickClipKeepsPositiveSide(t *testing.T) {
+	img := sphereField([3]int{12, 12, 12}, [3]float64{5.5, 5.5, 5.5}, 1)
+	mesh, err := Isosurface(img, "dist", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(nx, ny, nz int8, off int8) bool {
+		n := [3]float32{float32(nx), float32(ny), float32(nz)}
+		if n[0] == 0 && n[1] == 0 && n[2] == 0 {
+			return true
+		}
+		pl := Plane{Normal: n, Offset: float32(off)}
+		out := ClipMesh(mesh, pl)
+		for v := 0; v < out.NumVertices(); v++ {
+			p := [3]float32{out.Positions[3*v], out.Positions[3*v+1], out.Positions[3*v+2]}
+			if pl.Eval(p) < -1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: marching tetrahedra emits at most 2 triangles per tetrahedron,
+// i.e. at most 12 per voxel — a topology bound that catches table bugs.
+func TestIsosurfaceTriangleBound(t *testing.T) {
+	img := sphereField([3]int{10, 10, 10}, [3]float64{4.5, 4.5, 4.5}, 1)
+	for _, iso := range []float64{1, 2.5, 4, 6} {
+		mesh, err := Isosurface(img, "dist", iso)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxTris := img.NumCells() * 12
+		if mesh.NumTriangles() > maxTris {
+			t.Fatalf("iso=%v: %d triangles exceeds bound %d", iso, mesh.NumTriangles(), maxTris)
+		}
+	}
+}
+
+// Isosurface values must be continuous under small iso changes: nearby
+// iso levels produce comparable (not wildly different) areas.
+func TestIsosurfaceAreaContinuity(t *testing.T) {
+	img := sphereField([3]int{14, 14, 14}, [3]float64{6.5, 6.5, 6.5}, 1)
+	a1, _ := Isosurface(img, "dist", 4.0)
+	a2, _ := Isosurface(img, "dist", 4.05)
+	r := meshArea(a2) / meshArea(a1)
+	if r < 0.9 || r > 1.15 {
+		t.Fatalf("area jumped by %v for a 1%% iso change", r)
+	}
+}
+
+// Degenerate grids (flat in one axis) produce no cells and no surface.
+func TestIsosurfaceDegenerateGrid(t *testing.T) {
+	img := NewImageData([3]int{8, 8, 1}, [3]float64{}, [3]float64{1, 1, 1})
+	img.AddPointArray("f", 1)
+	mesh, err := Isosurface(img, "f", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mesh.NumTriangles() != 0 {
+		t.Fatal("flat grid produced triangles")
+	}
+	if img.NumCells() != 0 {
+		t.Fatalf("flat grid claims %d cells", img.NumCells())
+	}
+}
+
+// Clip of a clipped mesh with the opposite plane leaves only the band
+// between them.
+func TestDoubleClipBand(t *testing.T) {
+	img := sphereField([3]int{16, 16, 16}, [3]float64{7.5, 7.5, 7.5}, 1)
+	mesh, _ := Isosurface(img, "dist", 5)
+	band := ClipMesh(
+		ClipMesh(mesh, Plane{Normal: [3]float32{1, 0, 0}, Offset: 6}),
+		Plane{Normal: [3]float32{-1, 0, 0}, Offset: -9})
+	for v := 0; v < band.NumVertices(); v++ {
+		x := band.Positions[3*v]
+		if x < 6-1e-3 || x > 9+1e-3 {
+			t.Fatalf("vertex at x=%f escaped the [6, 9] band", x)
+		}
+	}
+	if band.NumTriangles() == 0 {
+		t.Fatal("band clip removed everything")
+	}
+}
+
+// Property: merging k copies of a grid scales points, cells, and data
+// linearly.
+func TestQuickMergeLinear(t *testing.T) {
+	base := NewUnstructuredGrid()
+	p0 := base.AddPoint(0, 0, 0)
+	p1 := base.AddPoint(1, 0, 0)
+	p2 := base.AddPoint(0, 1, 0)
+	p3 := base.AddPoint(0, 0, 1)
+	base.AddCell(CellTetra, p0, p1, p2, p3)
+	arr := base.AddCellArray("v", 1)
+	arr.Data[0] = 3
+
+	f := func(kRaw uint8) bool {
+		k := int(kRaw%6) + 1
+		grids := make([]*UnstructuredGrid, k)
+		for i := range grids {
+			grids[i] = base
+		}
+		m, err := MergeUnstructured(grids...)
+		if err != nil {
+			return false
+		}
+		a, _ := m.CellArray("v")
+		return m.NumCells() == k && m.NumPoints() == 4*k && len(a.Data) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Encoded sizes must grow monotonically with content (sanity for the
+// Fig. 1a bytes column).
+func TestEncodeSizeMonotone(t *testing.T) {
+	small := sphereField([3]int{4, 4, 4}, [3]float64{1.5, 1.5, 1.5}, 1)
+	big := sphereField([3]int{8, 8, 8}, [3]float64{3.5, 3.5, 3.5}, 1)
+	if len(big.Encode()) <= len(small.Encode()) {
+		t.Fatal("bigger grid encoded smaller")
+	}
+	if math.IsNaN(float64(len(small.Encode()))) {
+		t.Fatal("unreachable")
+	}
+}

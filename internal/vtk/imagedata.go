@@ -1,0 +1,120 @@
+package vtk
+
+import "encoding/binary"
+
+// ImageData is a regular grid (VTK's vtkImageData): Dims[k] points along
+// axis k, with world-space origin and spacing. Point data arrays hold one
+// tuple per grid point in x-fastest order.
+type ImageData struct {
+	Dims      [3]int
+	Origin    [3]float64
+	Spacing   [3]float64
+	PointData []*DataArray
+}
+
+// NewImageData allocates a grid of the given dimensions.
+func NewImageData(dims [3]int, origin, spacing [3]float64) *ImageData {
+	for k := 0; k < 3; k++ {
+		if dims[k] < 1 {
+			dims[k] = 1
+		}
+		if spacing[k] == 0 {
+			spacing[k] = 1
+		}
+	}
+	return &ImageData{Dims: dims, Origin: origin, Spacing: spacing}
+}
+
+// NumPoints returns the point count.
+func (img *ImageData) NumPoints() int { return img.Dims[0] * img.Dims[1] * img.Dims[2] }
+
+// NumCells returns the cell (voxel) count.
+func (img *ImageData) NumCells() int {
+	n := 1
+	for k := 0; k < 3; k++ {
+		if img.Dims[k] < 2 {
+			return 0
+		}
+		n *= img.Dims[k] - 1
+	}
+	return n
+}
+
+// Index converts (i, j, k) grid coordinates to a flat point index.
+func (img *ImageData) Index(i, j, k int) int {
+	return i + img.Dims[0]*(j+img.Dims[1]*k)
+}
+
+// Point returns the world-space position of grid point (i, j, k).
+func (img *ImageData) Point(i, j, k int) [3]float64 {
+	return [3]float64{
+		img.Origin[0] + float64(i)*img.Spacing[0],
+		img.Origin[1] + float64(j)*img.Spacing[1],
+		img.Origin[2] + float64(k)*img.Spacing[2],
+	}
+}
+
+// AddPointArray allocates and attaches a scalar point array.
+func (img *ImageData) AddPointArray(name string, comps int) *DataArray {
+	a := NewDataArray(name, comps, img.NumPoints())
+	img.PointData = append(img.PointData, a)
+	return a
+}
+
+// PointArray finds a point array by name.
+func (img *ImageData) PointArray(name string) (*DataArray, error) {
+	return findArray(img.PointData, name)
+}
+
+// Encode serializes the grid for staging.
+func (img *ImageData) Encode() []byte {
+	buf := make([]byte, 0, 64+4*len(img.PointData)*len(img.PointData))
+	var tmp [8]byte
+	for k := 0; k < 3; k++ {
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(img.Dims[k]))
+		buf = append(buf, tmp[:4]...)
+	}
+	for k := 0; k < 3; k++ {
+		binary.LittleEndian.PutUint64(tmp[:], uint64(int64(img.Origin[k]*1e9)))
+		buf = append(buf, tmp[:]...)
+	}
+	for k := 0; k < 3; k++ {
+		binary.LittleEndian.PutUint64(tmp[:], uint64(int64(img.Spacing[k]*1e9)))
+		buf = append(buf, tmp[:]...)
+	}
+	return encodeArrays(buf, img.PointData)
+}
+
+// DecodeImageData reverses Encode.
+func DecodeImageData(data []byte) (*ImageData, error) {
+	if len(data) < 12+48 {
+		return nil, ErrDecode
+	}
+	img := &ImageData{}
+	for k := 0; k < 3; k++ {
+		img.Dims[k] = int(binary.LittleEndian.Uint32(data[4*k:]))
+		if img.Dims[k] < 1 || img.Dims[k] > 1<<16 {
+			return nil, ErrDecode
+		}
+	}
+	data = data[12:]
+	for k := 0; k < 3; k++ {
+		img.Origin[k] = float64(int64(binary.LittleEndian.Uint64(data[8*k:]))) / 1e9
+	}
+	data = data[24:]
+	for k := 0; k < 3; k++ {
+		img.Spacing[k] = float64(int64(binary.LittleEndian.Uint64(data[8*k:]))) / 1e9
+	}
+	data = data[24:]
+	arrays, _, err := decodeArrays(data)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range arrays {
+		if a.NumTuples() != img.NumPoints() {
+			return nil, ErrDecode
+		}
+	}
+	img.PointData = arrays
+	return img, nil
+}

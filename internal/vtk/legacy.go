@@ -1,0 +1,109 @@
+package vtk
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// This file implements writers for the VTK legacy ASCII format, so data
+// produced by the simulations and filters in this repository can be opened
+// in actual ParaView/VisIt — useful when comparing the proxy pipelines
+// against the real tools the paper builds on.
+
+func legacyHeader(w io.Writer, title string) {
+	fmt.Fprintf(w, "# vtk DataFile Version 3.0\n%s\nASCII\n", title)
+}
+
+func writeArrays(w io.Writer, kind string, n int, arrays []*DataArray) {
+	if len(arrays) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%s %d\n", kind, n)
+	for _, a := range arrays {
+		comps := a.Components
+		if comps < 1 {
+			comps = 1
+		}
+		fmt.Fprintf(w, "SCALARS %s float %d\nLOOKUP_TABLE default\n", a.Name, comps)
+		for i, v := range a.Data {
+			if i > 0 && i%9 == 0 {
+				fmt.Fprintln(w)
+			}
+			fmt.Fprintf(w, "%g ", v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteLegacy writes the grid as a legacy UNSTRUCTURED_GRID dataset.
+func (g *UnstructuredGrid) WriteLegacy(out io.Writer, title string) error {
+	w := bufio.NewWriter(out)
+	legacyHeader(w, title)
+	fmt.Fprintln(w, "DATASET UNSTRUCTURED_GRID")
+	np := g.NumPoints()
+	fmt.Fprintf(w, "POINTS %d float\n", np)
+	for i := 0; i < np; i++ {
+		fmt.Fprintf(w, "%g %g %g\n", g.Points[3*i], g.Points[3*i+1], g.Points[3*i+2])
+	}
+	nc := g.NumCells()
+	fmt.Fprintf(w, "CELLS %d %d\n", nc, nc+len(g.Conn))
+	for c := 0; c < nc; c++ {
+		cell := g.Cell(c)
+		fmt.Fprintf(w, "%d", len(cell))
+		for _, p := range cell {
+			fmt.Fprintf(w, " %d", p)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "CELL_TYPES %d\n", nc)
+	for _, t := range g.CellTypes {
+		fmt.Fprintf(w, "%d\n", int(t))
+	}
+	writeArrays(w, "POINT_DATA", np, g.PointData)
+	writeArrays(w, "CELL_DATA", nc, g.CellData)
+	return w.Flush()
+}
+
+// WriteLegacy writes the mesh as a legacy POLYDATA dataset of triangles.
+func (m *TriangleMesh) WriteLegacy(out io.Writer, title string) error {
+	w := bufio.NewWriter(out)
+	legacyHeader(w, title)
+	fmt.Fprintln(w, "DATASET POLYDATA")
+	nv := m.NumVertices()
+	fmt.Fprintf(w, "POINTS %d float\n", nv)
+	for i := 0; i < nv; i++ {
+		fmt.Fprintf(w, "%g %g %g\n", m.Positions[3*i], m.Positions[3*i+1], m.Positions[3*i+2])
+	}
+	nt := m.NumTriangles()
+	fmt.Fprintf(w, "POLYGONS %d %d\n", nt, 4*nt)
+	for t := 0; t < nt; t++ {
+		fmt.Fprintf(w, "3 %d %d %d\n", 3*t, 3*t+1, 3*t+2)
+	}
+	fmt.Fprintf(w, "POINT_DATA %d\n", nv)
+	fmt.Fprintf(w, "SCALARS scalar float 1\nLOOKUP_TABLE default\n")
+	for i, v := range m.Scalars {
+		if i > 0 && i%9 == 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "%g ", v)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "NORMALS normals float\n")
+	for i := 0; i < nv; i++ {
+		fmt.Fprintf(w, "%g %g %g\n", m.Normals[3*i], m.Normals[3*i+1], m.Normals[3*i+2])
+	}
+	return w.Flush()
+}
+
+// WriteLegacy writes the grid as a legacy STRUCTURED_POINTS dataset.
+func (img *ImageData) WriteLegacy(out io.Writer, title string) error {
+	w := bufio.NewWriter(out)
+	legacyHeader(w, title)
+	fmt.Fprintln(w, "DATASET STRUCTURED_POINTS")
+	fmt.Fprintf(w, "DIMENSIONS %d %d %d\n", img.Dims[0], img.Dims[1], img.Dims[2])
+	fmt.Fprintf(w, "ORIGIN %g %g %g\n", img.Origin[0], img.Origin[1], img.Origin[2])
+	fmt.Fprintf(w, "SPACING %g %g %g\n", img.Spacing[0], img.Spacing[1], img.Spacing[2])
+	writeArrays(w, "POINT_DATA", img.NumPoints(), img.PointData)
+	return w.Flush()
+}

@@ -1,0 +1,69 @@
+package vtk
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteLegacyUnstructured(t *testing.T) {
+	g := NewUnstructuredGrid()
+	p0 := g.AddPoint(0, 0, 0)
+	p1 := g.AddPoint(1, 0, 0)
+	p2 := g.AddPoint(0, 1, 0)
+	p3 := g.AddPoint(0, 0, 1)
+	g.AddCell(CellTetra, p0, p1, p2, p3)
+	arr := g.AddCellArray("velocity", 1)
+	arr.Data[0] = 2.5
+
+	var buf bytes.Buffer
+	if err := g.WriteLegacy(&buf, "dwi block"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# vtk DataFile Version 3.0",
+		"DATASET UNSTRUCTURED_GRID",
+		"POINTS 4 float",
+		"CELLS 1 5",
+		"CELL_TYPES 1",
+		"10", // VTK_TETRA
+		"CELL_DATA 1",
+		"SCALARS velocity float 1",
+		"2.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("legacy output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteLegacyPolyData(t *testing.T) {
+	m := &TriangleMesh{}
+	m.AddTriangle([3]float32{0, 0, 0}, [3]float32{1, 0, 0}, [3]float32{0, 1, 0}, 1, 2, 3)
+	var buf bytes.Buffer
+	if err := m.WriteLegacy(&buf, "isosurface"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"DATASET POLYDATA", "POINTS 3 float", "POLYGONS 1 4", "3 0 1 2", "NORMALS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("polydata output missing %q", want)
+		}
+	}
+}
+
+func TestWriteLegacyStructuredPoints(t *testing.T) {
+	img := NewImageData([3]int{2, 3, 4}, [3]float64{1, 2, 3}, [3]float64{0.5, 0.5, 0.5})
+	img.AddPointArray("U", 1)
+	var buf bytes.Buffer
+	if err := img.WriteLegacy(&buf, "grayscott"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"DATASET STRUCTURED_POINTS", "DIMENSIONS 2 3 4", "ORIGIN 1 2 3", "SPACING 0.5 0.5 0.5", "POINT_DATA 24", "SCALARS U float 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("structured points output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package vtk
+
+import "encoding/binary"
+
+// CellType enumerates the unstructured cell kinds we support (a subset of
+// VTK's cell zoo sufficient for the Deep Water Impact proxy).
+type CellType uint8
+
+// Supported cell types, with VTK's numeric values.
+const (
+	CellTriangle   CellType = 5
+	CellTetra      CellType = 10
+	CellVoxel      CellType = 11
+	CellHexahedron CellType = 12
+)
+
+// PointsPerCell returns the vertex count of a cell type.
+func (t CellType) PointsPerCell() int {
+	switch t {
+	case CellTriangle:
+		return 3
+	case CellTetra:
+		return 4
+	case CellVoxel, CellHexahedron:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// UnstructuredGrid is VTK's vtkUnstructuredGrid: explicit points plus a
+// list of cells over them, with optional point and cell data.
+type UnstructuredGrid struct {
+	Points    []float32 // xyz interleaved, 3*NumPoints
+	CellTypes []CellType
+	Conn      []int32 // concatenated cell connectivity
+	Offsets   []int32 // Offsets[i] is the start of cell i in Conn; len = NumCells+1
+	PointData []*DataArray
+	CellData  []*DataArray
+}
+
+// NewUnstructuredGrid returns an empty grid.
+func NewUnstructuredGrid() *UnstructuredGrid {
+	return &UnstructuredGrid{Offsets: []int32{0}}
+}
+
+// NumPoints returns the point count.
+func (g *UnstructuredGrid) NumPoints() int { return len(g.Points) / 3 }
+
+// NumCells returns the cell count.
+func (g *UnstructuredGrid) NumCells() int { return len(g.CellTypes) }
+
+// AddPoint appends a point and returns its index.
+func (g *UnstructuredGrid) AddPoint(x, y, z float32) int32 {
+	g.Points = append(g.Points, x, y, z)
+	return int32(g.NumPoints() - 1)
+}
+
+// AddCell appends a cell over the given point indices.
+func (g *UnstructuredGrid) AddCell(t CellType, pts ...int32) {
+	g.CellTypes = append(g.CellTypes, t)
+	g.Conn = append(g.Conn, pts...)
+	g.Offsets = append(g.Offsets, int32(len(g.Conn)))
+}
+
+// Cell returns the connectivity slice of cell i.
+func (g *UnstructuredGrid) Cell(i int) []int32 {
+	return g.Conn[g.Offsets[i]:g.Offsets[i+1]]
+}
+
+// CellCentroid computes the centroid of cell i.
+func (g *UnstructuredGrid) CellCentroid(i int) [3]float32 {
+	var c [3]float32
+	pts := g.Cell(i)
+	for _, p := range pts {
+		c[0] += g.Points[3*p]
+		c[1] += g.Points[3*p+1]
+		c[2] += g.Points[3*p+2]
+	}
+	n := float32(len(pts))
+	if n > 0 {
+		c[0] /= n
+		c[1] /= n
+		c[2] /= n
+	}
+	return c
+}
+
+// AddCellArray allocates and attaches a cell data array.
+func (g *UnstructuredGrid) AddCellArray(name string, comps int) *DataArray {
+	a := NewDataArray(name, comps, g.NumCells())
+	g.CellData = append(g.CellData, a)
+	return a
+}
+
+// CellArray finds a cell array by name.
+func (g *UnstructuredGrid) CellArray(name string) (*DataArray, error) {
+	return findArray(g.CellData, name)
+}
+
+// PointArray finds a point array by name.
+func (g *UnstructuredGrid) PointArray(name string) (*DataArray, error) {
+	return findArray(g.PointData, name)
+}
+
+// Encode serializes the grid for staging (the VTU-file analog).
+func (g *UnstructuredGrid) Encode() []byte {
+	var tmp [4]byte
+	buf := make([]byte, 0, 16+4*len(g.Points)+len(g.CellTypes)+4*len(g.Conn))
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(g.Points)))
+	buf = append(buf, tmp[:]...)
+	for _, v := range g.Points {
+		binary.LittleEndian.PutUint32(tmp[:], floatBits(v))
+		buf = append(buf, tmp[:]...)
+	}
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(g.CellTypes)))
+	buf = append(buf, tmp[:]...)
+	for _, t := range g.CellTypes {
+		buf = append(buf, byte(t))
+	}
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(g.Conn)))
+	buf = append(buf, tmp[:]...)
+	for _, v := range g.Conn {
+		binary.LittleEndian.PutUint32(tmp[:], uint32(v))
+		buf = append(buf, tmp[:]...)
+	}
+	buf = encodeArrays(buf, g.PointData)
+	buf = encodeArrays(buf, g.CellData)
+	return buf
+}
+
+// DecodeUnstructuredGrid reverses Encode.
+func DecodeUnstructuredGrid(data []byte) (*UnstructuredGrid, error) {
+	g := &UnstructuredGrid{}
+	if len(data) < 4 {
+		return nil, ErrDecode
+	}
+	np := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if np < 0 || np%3 != 0 || len(data) < 4*np {
+		return nil, ErrDecode
+	}
+	g.Points = make([]float32, np)
+	for i := range g.Points {
+		g.Points[i] = floatFromBits(binary.LittleEndian.Uint32(data[4*i:]))
+	}
+	data = data[4*np:]
+	if len(data) < 4 {
+		return nil, ErrDecode
+	}
+	nc := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if nc < 0 || len(data) < nc {
+		return nil, ErrDecode
+	}
+	g.CellTypes = make([]CellType, nc)
+	for i := range g.CellTypes {
+		g.CellTypes[i] = CellType(data[i])
+	}
+	data = data[nc:]
+	if len(data) < 4 {
+		return nil, ErrDecode
+	}
+	cl := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if cl < 0 || len(data) < 4*cl {
+		return nil, ErrDecode
+	}
+	g.Conn = make([]int32, cl)
+	for i := range g.Conn {
+		g.Conn[i] = int32(binary.LittleEndian.Uint32(data[4*i:]))
+	}
+	data = data[4*cl:]
+	// Rebuild offsets from cell types.
+	g.Offsets = make([]int32, 1, nc+1)
+	var off int32
+	for _, t := range g.CellTypes {
+		off += int32(t.PointsPerCell())
+		g.Offsets = append(g.Offsets, off)
+	}
+	if int(off) != cl {
+		return nil, ErrDecode
+	}
+	var err error
+	g.PointData, data, err = decodeArrays(data)
+	if err != nil {
+		return nil, err
+	}
+	g.CellData, _, err = decodeArrays(data)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
