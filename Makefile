@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race ci
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -timeout 300s ./...
+
+race:
+	$(GO) test -race -timeout 600s ./...
+
+# Focused run of the chaos/fault-injection suites.
+chaos:
+	$(GO) test -race -timeout 600s -run 'TestChaos|TestDeactivateDrains|TestStageRejected|TestDuplicatePrepare|TestDeferredLeave|TestStageRetries' ./internal/core/ ./internal/e2e/
+
+ci:
+	./ci.sh

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -31,6 +32,32 @@ func NewClient(mi *margo.Instance) *Client {
 // Margo exposes the client's instance (for bulk registration).
 func (c *Client) Margo() *margo.Instance { return c.mi }
 
+// call invokes a colza RPC and maintains the info cache: any failure at the
+// transport level (timeout, unreachable) means what we know about that
+// server may be stale, so its cached address mapping is evicted. Remote
+// errors leave the cache alone — the server answered, it is alive.
+func (c *Client) call(addr, rpc string, payload []byte, timeout time.Duration) ([]byte, error) {
+	out, err := c.mi.CallProvider(addr, ProviderID, rpc, payload, timeout)
+	if err != nil && Classify(err) != ClassRemote {
+		c.evictInfo(addr)
+	}
+	return out, err
+}
+
+// evictInfo drops the cached address mapping for one server.
+func (c *Client) evictInfo(rpcAddr string) {
+	c.mu.Lock()
+	delete(c.infoCache, rpcAddr)
+	c.mu.Unlock()
+}
+
+// cachedInfoCount reports the cache size (tests assert eviction happened).
+func (c *Client) cachedInfoCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.infoCache)
+}
+
 // serverInfo resolves the Mona address of a server, with caching.
 func (c *Client) serverInfo(rpcAddr string, timeout time.Duration) (ServerInfo, error) {
 	c.mu.Lock()
@@ -39,7 +66,7 @@ func (c *Client) serverInfo(rpcAddr string, timeout time.Duration) (ServerInfo, 
 		return si, nil
 	}
 	c.mu.Unlock()
-	raw, err := c.mi.CallProvider(rpcAddr, ProviderID, "info", nil, timeout)
+	raw, err := c.call(rpcAddr, "info", nil, timeout)
 	if err != nil {
 		return ServerInfo{}, err
 	}
@@ -58,7 +85,7 @@ func (c *Client) serverInfo(rpcAddr string, timeout time.Duration) (ServerInfo, 
 // member's address pair. The returned view is normalized; Epoch is zero
 // (set during activation).
 func (c *Client) FetchView(contact string, timeout time.Duration) (MemberView, error) {
-	raw, err := c.mi.CallProvider(contact, ProviderID, "members", nil, timeout)
+	raw, err := c.call(contact, "members", nil, timeout)
 	if err != nil {
 		return MemberView{}, fmt.Errorf("colza: fetching members from %s: %w", contact, err)
 	}
@@ -145,23 +172,29 @@ type DistributedPipelineHandle struct {
 	pipeline string
 	contact  string
 
-	mu        sync.Mutex
-	view      MemberView
-	placement PlacementPolicy
-	timeout   time.Duration
-	retries   int
+	mu         sync.Mutex
+	view       MemberView
+	placement  PlacementPolicy
+	timeout    time.Duration
+	retries    int
+	stageRetry RetryPolicy
+	viewRetry  RetryPolicy
+	rng        *rand.Rand
 }
 
 // Handle creates a distributed handle on pipeline, using contact (any
 // server address) to discover membership.
 func (c *Client) Handle(pipeline, contact string) *DistributedPipelineHandle {
 	return &DistributedPipelineHandle{
-		c:         c,
-		pipeline:  pipeline,
-		contact:   contact,
-		placement: DefaultPlacement,
-		timeout:   10 * time.Second,
-		retries:   8,
+		c:          c,
+		pipeline:   pipeline,
+		contact:    contact,
+		placement:  DefaultPlacement,
+		timeout:    10 * time.Second,
+		retries:    8,
+		stageRetry: DefaultStageRetry,
+		viewRetry:  DefaultViewRetry,
+		rng:        rand.New(rand.NewSource(1)),
 	}
 }
 
@@ -177,6 +210,55 @@ func (h *DistributedPipelineHandle) SetTimeout(d time.Duration) {
 	h.mu.Lock()
 	h.timeout = d
 	h.mu.Unlock()
+}
+
+// SetStageRetry overrides the retry/backoff policy for Stage RPCs.
+func (h *DistributedPipelineHandle) SetStageRetry(rp RetryPolicy) {
+	h.mu.Lock()
+	h.stageRetry = rp
+	h.mu.Unlock()
+}
+
+// SetRetrySeed reseeds the jitter RNG (chaos tests pin it for replay).
+func (h *DistributedPipelineHandle) SetRetrySeed(seed int64) {
+	h.mu.Lock()
+	h.rng = rand.New(rand.NewSource(seed))
+	h.mu.Unlock()
+}
+
+// backoff computes the jittered sleep before retry attempt k under rp.
+func (h *DistributedPipelineHandle) backoff(rp RetryPolicy, k int) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return rp.Backoff(k, h.rng)
+}
+
+// refreshView fetches the current membership, failing over from the
+// configured contact to the members of the last pinned view: a client must
+// outlive its contact server leaving the staging area, or one departure
+// strands every simulation rank that bootstrapped through it. Whoever
+// answers becomes the new contact.
+func (h *DistributedPipelineHandle) refreshView(timeout time.Duration) (MemberView, error) {
+	h.mu.Lock()
+	contacts := []string{h.contact}
+	for _, m := range h.view.Members {
+		if m.RPC != h.contact {
+			contacts = append(contacts, m.RPC)
+		}
+	}
+	h.mu.Unlock()
+	var errs []error
+	for _, addr := range contacts {
+		v, err := h.c.FetchView(addr, timeout)
+		if err == nil {
+			h.mu.Lock()
+			h.contact = addr
+			h.mu.Unlock()
+			return v, nil
+		}
+		errs = append(errs, err)
+	}
+	return MemberView{}, errors.Join(errs...)
 }
 
 // View returns the currently pinned member view.
@@ -198,7 +280,9 @@ func (h *DistributedPipelineHandle) SetView(v MemberView) {
 func (h *DistributedPipelineHandle) Pipeline() string { return h.pipeline }
 
 // broadcast calls an RPC on every member of the view concurrently and
-// collects results in rank order.
+// collects results in rank order. All per-rank failures are reported
+// (joined), not just the last one — under churn several servers can fail
+// at once and the caller needs the full picture to classify the round.
 func (h *DistributedPipelineHandle) broadcast(view MemberView, rpc string, payload []byte, timeout time.Duration) ([][]byte, error) {
 	n := len(view.Members)
 	outs := make([][]byte, n)
@@ -208,16 +292,44 @@ func (h *DistributedPipelineHandle) broadcast(view MemberView, rpc string, paylo
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			outs[i], errs[i] = h.c.mi.CallProvider(addr, ProviderID, rpc, payload, timeout)
+			var err error
+			outs[i], err = h.c.call(addr, rpc, payload, timeout)
+			if err != nil {
+				errs[i] = fmt.Errorf("colza: %s on %s: %w", rpc, addr, err)
+			}
 		}(i, m.RPC)
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return outs, fmt.Errorf("colza: %s on %s: %w", rpc, view.Members[i].RPC, err)
-		}
+	return outs, errors.Join(errs...)
+}
+
+// cleanupBroadcast issues a best-effort RPC (abort/deactivate after a
+// failed activate round) to every member, bounded by a short timeout, and
+// returns the joined transport-level failures. Unlike the old
+// fire-and-forget goroutines this waits for the calls, so a slow server
+// cannot accumulate leaked goroutines across every retry.
+func (h *DistributedPipelineHandle) cleanupBroadcast(view MemberView, rpc string, payload []byte, timeout time.Duration) error {
+	ct := timeout / 4
+	if ct < 50*time.Millisecond {
+		ct = timeout
 	}
-	return outs, nil
+	errs := make([]error, len(view.Members))
+	var wg sync.WaitGroup
+	for i, m := range view.Members {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			_, err := h.c.call(addr, rpc, payload, ct)
+			// Remote refusals are expected here (a member that never
+			// prepared has nothing to abort); only transport failures are
+			// worth surfacing.
+			if err != nil && Classify(err) != ClassRemote {
+				errs[i] = fmt.Errorf("colza: cleanup %s on %s: %w", rpc, addr, err)
+			}
+		}(i, m.RPC)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // Activate starts iteration it: it runs the two-phase commit that pins a
@@ -235,13 +347,17 @@ func (h *DistributedPipelineHandle) Activate(it uint64) (MemberView, error) {
 	view := h.view
 	h.mu.Unlock()
 
+	h.mu.Lock()
+	viewRetry := h.viewRetry
+	h.mu.Unlock()
+
 	var lastErr error
 	for attempt := 0; attempt < retries; attempt++ {
 		if attempt > 0 || len(view.Members) == 0 {
-			v, err := h.c.FetchView(h.contact, timeout)
+			v, err := h.refreshView(timeout)
 			if err != nil {
 				lastErr = err
-				time.Sleep(10 * time.Millisecond << uint(attempt))
+				time.Sleep(h.backoff(viewRetry, attempt))
 				continue
 			}
 			view = v
@@ -255,8 +371,13 @@ func (h *DistributedPipelineHandle) Activate(it uint64) (MemberView, error) {
 		} else if err != nil {
 			lastErr = err
 		}
-		// Back off to let gossip converge, then refresh and retry.
-		time.Sleep(10 * time.Millisecond << uint(attempt))
+		// A failed round means our picture of the group is suspect: drop
+		// the cached info of every proposed member so the next round
+		// re-resolves addresses, then back off to let gossip converge.
+		for _, m := range view.Members {
+			h.c.evictInfo(m.RPC)
+		}
+		time.Sleep(h.backoff(viewRetry, attempt))
 		view = MemberView{}
 	}
 	return MemberView{}, fmt.Errorf("%w: %v", ErrActivateFailed, lastErr)
@@ -273,7 +394,7 @@ func (h *DistributedPipelineHandle) tryActivate(it uint64, view MemberView, time
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			raw, err := h.c.mi.CallProvider(addr, ProviderID, "prepare", payload, timeout)
+			raw, err := h.c.call(addr, "prepare", payload, timeout)
 			if err != nil {
 				errs[i] = err
 				return
@@ -282,29 +403,26 @@ func (h *DistributedPipelineHandle) tryActivate(it uint64, view MemberView, time
 		}(i, m.RPC)
 	}
 	wg.Wait()
-	allYes := true
-	var reason error
+	var reasons []error
 	for i := range votes {
 		if errs[i] != nil {
-			allYes = false
-			reason = errs[i]
+			reasons = append(reasons, fmt.Errorf("colza: prepare on %s: %w", view.Members[i].RPC, errs[i]))
 		} else if !votes[i].Yes {
-			allYes = false
-			reason = fmt.Errorf("colza: %s voted no: %s", view.Members[i].RPC, votes[i].Reason)
+			reasons = append(reasons, fmt.Errorf("colza: %s voted no: %s", view.Members[i].RPC, votes[i].Reason))
 		}
 	}
 	ep, _ := json.Marshal(epochMsg{Pipeline: h.pipeline, Iteration: it, Epoch: view.Epoch})
-	if !allYes {
-		// Abort everywhere, best effort.
-		for _, m := range view.Members {
-			go h.c.mi.CallProvider(m.RPC, ProviderID, "abort", ep, timeout)
+	if len(reasons) > 0 {
+		// Abort everywhere, best effort but bounded and collected.
+		if cerr := h.cleanupBroadcast(view, "abort", ep, timeout); cerr != nil {
+			reasons = append(reasons, cerr)
 		}
-		return false, reason
+		return false, errors.Join(reasons...)
 	}
 	if _, err := h.broadcast(view, "commit", ep, timeout); err != nil {
 		// Partial commit: deactivate whatever committed, then retry.
-		for _, m := range view.Members {
-			go h.c.mi.CallProvider(m.RPC, ProviderID, "deactivate", ep, timeout)
+		if cerr := h.cleanupBroadcast(view, "deactivate", ep, timeout); cerr != nil {
+			err = errors.Join(err, cerr)
 		}
 		return false, err
 	}
@@ -314,11 +432,17 @@ func (h *DistributedPipelineHandle) tryActivate(it uint64, view MemberView, time
 // Stage exposes data and asks the selected server to pull it. The data
 // buffer must stay unchanged until Stage returns (RDMA semantics); it is
 // not copied on the client side.
+// The stage RPC is retried under the handle's RetryPolicy on transient
+// failures (timeouts, unreachable server). A retry after a timeout may
+// duplicate a block the server already pulled, so staging is at-least-once:
+// pipelines that cannot tolerate duplicates must deduplicate on
+// (iteration, block id), which BlockMeta carries for exactly that purpose.
 func (h *DistributedPipelineHandle) Stage(it uint64, meta BlockMeta, data []byte) error {
 	h.mu.Lock()
 	view := h.view
 	placement := h.placement
 	timeout := h.timeout
+	retry := h.stageRetry
 	h.mu.Unlock()
 	if len(view.Members) == 0 {
 		return fmt.Errorf("colza: stage before activate (no pinned view)")
@@ -331,11 +455,20 @@ func (h *DistributedPipelineHandle) Stage(it uint64, meta BlockMeta, data []byte
 	bulk := cls.Expose(data)
 	defer cls.Release(bulk)
 	payload, _ := json.Marshal(stageMsg{Pipeline: h.pipeline, Iteration: it, Meta: meta, Bulk: bulk.Encode()})
-	_, err := h.c.mi.CallProvider(view.Members[target].RPC, ProviderID, "stage", payload, timeout)
-	if err != nil {
-		return fmt.Errorf("colza: stage block %d on %s: %w", meta.BlockID, view.Members[target].RPC, err)
+	var err error
+	for attempt := 0; attempt < retry.attempts(); attempt++ {
+		if attempt > 0 {
+			time.Sleep(h.backoff(retry, attempt-1))
+		}
+		_, err = h.c.call(view.Members[target].RPC, "stage", payload, timeout)
+		if err == nil {
+			return nil
+		}
+		if !Retryable(err) {
+			break
+		}
 	}
-	return nil
+	return fmt.Errorf("colza: stage block %d on %s: %w", meta.BlockID, view.Members[target].RPC, err)
 }
 
 // Execute triggers the pipeline's analysis on every server and returns the

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"colza/internal/mercury"
+	"colza/internal/na"
+)
+
+// ErrorClass partitions RPC failures by what the client may safely do next.
+// The distinction that matters for retry logic: an Unreachable failure
+// means the request never executed (safe to retry anywhere), a Timeout
+// means it may or may not have executed (retry needs idempotence), and a
+// Remote failure means the server is alive and answered — retrying the
+// same request will fail the same way.
+type ErrorClass int
+
+const (
+	// ClassOK: no error.
+	ClassOK ErrorClass = iota
+	// ClassTimeout: no response within the deadline; the request may have
+	// executed. Retryable for idempotent operations; the peer's liveness is
+	// unknown, so cached info about it should be discarded.
+	ClassTimeout
+	// ClassUnreachable: the request could not be delivered (no route,
+	// endpoint closed). It definitely did not execute; always retryable,
+	// and cached info about the peer is stale.
+	ClassUnreachable
+	// ClassRemote: the remote handler ran and returned an error. The server
+	// is alive; retrying the identical request is pointless.
+	ClassRemote
+	// ClassLocal: a client-side failure (encoding, invalid argument).
+	ClassLocal
+)
+
+// Classify maps an error from the RPC stack to its class.
+func Classify(err error) ErrorClass {
+	switch {
+	case err == nil:
+		return ClassOK
+	case errors.Is(err, mercury.ErrTimeout):
+		return ClassTimeout
+	case errors.Is(err, na.ErrNoRoute),
+		errors.Is(err, na.ErrClosed),
+		errors.Is(err, mercury.ErrClosed),
+		errors.Is(err, mercury.ErrUnknownRPC):
+		return ClassUnreachable
+	default:
+		var re *mercury.RemoteError
+		if errors.As(err, &re) {
+			return ClassRemote
+		}
+		return ClassLocal
+	}
+}
+
+// Retryable reports whether the failure is transient: the operation may
+// succeed if reissued (possibly against a refreshed view).
+func Retryable(err error) bool {
+	switch Classify(err) {
+	case ClassTimeout, ClassUnreachable:
+		return true
+	default:
+		return false
+	}
+}
+
+// RetryPolicy bounds a jittered exponential backoff: attempt k (0-based)
+// sleeps Base<<k, capped at Cap, with a uniformly random fraction of up to
+// Jitter of that value added — the standard defense against retry
+// synchronization across many client ranks.
+type RetryPolicy struct {
+	Max    int           // attempts including the first; <=0 means 1
+	Base   time.Duration // first backoff step
+	Cap    time.Duration // backoff ceiling
+	Jitter float64       // extra random fraction in [0, Jitter)
+}
+
+// DefaultStageRetry is the handle's default policy for Stage RPCs.
+var DefaultStageRetry = RetryPolicy{Max: 4, Base: 5 * time.Millisecond, Cap: 200 * time.Millisecond, Jitter: 0.5}
+
+// DefaultViewRetry is the handle's default policy for view refresh and
+// activate rounds.
+var DefaultViewRetry = RetryPolicy{Max: 8, Base: 10 * time.Millisecond, Cap: time.Second, Jitter: 0.5}
+
+// Backoff returns the sleep before retry attempt k (0-based), drawing
+// jitter from rng (which may be nil for no jitter).
+func (rp RetryPolicy) Backoff(k int, rng *rand.Rand) time.Duration {
+	d := rp.Base
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	for i := 0; i < k && d < rp.Cap; i++ {
+		d *= 2
+	}
+	if rp.Cap > 0 && d > rp.Cap {
+		d = rp.Cap
+	}
+	if rp.Jitter > 0 && rng != nil {
+		d += time.Duration(rp.Jitter * rng.Float64() * float64(d))
+	}
+	return d
+}
+
+// attempts normalizes Max.
+func (rp RetryPolicy) attempts() int {
+	if rp.Max <= 0 {
+		return 1
+	}
+	return rp.Max
+}

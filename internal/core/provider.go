@@ -75,12 +75,24 @@ type preparedState struct {
 	epoch     uint64
 	iteration uint64
 	view      MemberView
+	from      string // client that prepared; equal-epoch re-prepare is
+	// idempotent for it but rejected for anyone else
 }
 
 type activeState struct {
 	epoch     uint64
 	iteration uint64
 	comm      *mona.Comm
+
+	// inflight counts stage/execute handlers currently running on the
+	// backend; draining marks a teardown in progress. Teardown (deactivate
+	// or pipeline destruction) flips draining under slot.mu — becoming the
+	// owner of the teardown — then waits for inflight to reach zero before
+	// touching the backend or destroying the communicator, so a concurrent
+	// Stage/Execute can never run on a deactivated backend or a destroyed
+	// communicator.
+	inflight sync.WaitGroup
+	draining bool
 }
 
 type pipelineSlot struct {
@@ -104,6 +116,7 @@ type Provider struct {
 	pipelines   map[string]*pipelineSlot
 	activeIters int
 	leaving     bool
+	left        bool
 	onLeave     func()
 }
 
@@ -169,7 +182,8 @@ func (p *Provider) CreatePipeline(name, typeName string, config json.RawMessage)
 	return nil
 }
 
-// DestroyPipeline removes a pipeline.
+// DestroyPipeline removes a pipeline, draining any in-flight stage/execute
+// handlers before tearing down the active iteration.
 func (p *Provider) DestroyPipeline(name string) error {
 	p.mu.Lock()
 	slot, ok := p.pipelines[name]
@@ -181,12 +195,25 @@ func (p *Provider) DestroyPipeline(name string) error {
 		return fmt.Errorf("%w: %q", ErrNoSuchPipeline, name)
 	}
 	slot.mu.Lock()
-	defer slot.mu.Unlock()
-	if slot.active != nil {
-		p.mn.DestroyComm(slot.active.comm)
+	st := slot.active
+	owner := st != nil && !st.draining
+	if owner {
+		st.draining = true
+	}
+	slot.mu.Unlock()
+	if owner {
+		// We own the teardown: wait out in-flight handlers, then release
+		// the iteration (a concurrent deactivate lost the draining race and
+		// has already returned ErrNotActive).
+		st.inflight.Wait()
+		slot.mu.Lock()
+		p.mn.DestroyComm(st.comm)
 		slot.active = nil
+		slot.mu.Unlock()
 		p.iterDone()
 	}
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
 	return slot.backend.Destroy()
 }
 
@@ -245,10 +272,19 @@ func (p *Provider) handlePrepare(req mercury.Request) ([]byte, error) {
 	if slot.active != nil {
 		return vote(false, ErrBusy.Error())
 	}
-	if slot.prepared != nil && slot.prepared.epoch > msg.View.Epoch {
-		return vote(false, "superseded by newer epoch")
+	if slot.prepared != nil {
+		if slot.prepared.epoch > msg.View.Epoch {
+			return vote(false, "superseded by newer epoch")
+		}
+		// An equal-epoch prepare is idempotent for the client that issued
+		// it (a retry after its vote was lost) but must not let a second
+		// client silently steal a pending prepare: its commit would then
+		// activate under the thief's view.
+		if slot.prepared.epoch == msg.View.Epoch && slot.prepared.from != req.From {
+			return vote(false, fmt.Sprintf("epoch %d already prepared by %s", msg.View.Epoch, slot.prepared.from))
+		}
 	}
-	slot.prepared = &preparedState{epoch: msg.View.Epoch, iteration: msg.Iteration, view: msg.View}
+	slot.prepared = &preparedState{epoch: msg.View.Epoch, iteration: msg.Iteration, view: msg.View, from: req.From}
 	return vote(true, "")
 }
 
@@ -322,12 +358,11 @@ func (p *Provider) handleStage(req mercury.Request) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	slot.mu.Lock()
-	st := slot.active
-	slot.mu.Unlock()
-	if st == nil || st.iteration != msg.Iteration {
-		return nil, fmt.Errorf("%w: stage(iter=%d)", ErrNotActive, msg.Iteration)
+	st, err := slot.enter(msg.Iteration, "stage")
+	if err != nil {
+		return nil, err
 	}
+	defer st.inflight.Done()
 	bulk, _, err := mercury.DecodeBulk(msg.Bulk)
 	if err != nil {
 		return nil, err
@@ -342,6 +377,20 @@ func (p *Provider) handleStage(req mercury.Request) ([]byte, error) {
 	return []byte("ok"), nil
 }
 
+// enter registers an in-flight stage/execute handler on the iteration,
+// failing if the iteration is absent, mismatched, or already draining. The
+// caller must st.inflight.Done() when the backend call returns.
+func (s *pipelineSlot) enter(iteration uint64, op string) (*activeState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.active
+	if st == nil || st.iteration != iteration || st.draining {
+		return nil, fmt.Errorf("%w: %s(iter=%d)", ErrNotActive, op, iteration)
+	}
+	st.inflight.Add(1)
+	return st, nil
+}
+
 func (p *Provider) handleExecute(req mercury.Request) ([]byte, error) {
 	var msg epochMsg
 	if err := json.Unmarshal(req.Payload, &msg); err != nil {
@@ -351,12 +400,11 @@ func (p *Provider) handleExecute(req mercury.Request) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	slot.mu.Lock()
-	st := slot.active
-	slot.mu.Unlock()
-	if st == nil || st.iteration != msg.Iteration {
-		return nil, fmt.Errorf("%w: execute(iter=%d)", ErrNotActive, msg.Iteration)
+	st, err := slot.enter(msg.Iteration, "execute")
+	if err != nil {
+		return nil, err
 	}
+	defer st.inflight.Done()
 	res, err := slot.backend.Execute(msg.Iteration)
 	if err != nil {
 		return nil, err
@@ -375,10 +423,17 @@ func (p *Provider) handleDeactivate(req mercury.Request) ([]byte, error) {
 	}
 	slot.mu.Lock()
 	st := slot.active
-	if st == nil || st.iteration != msg.Iteration {
+	if st == nil || st.iteration != msg.Iteration || st.draining {
 		slot.mu.Unlock()
 		return nil, fmt.Errorf("%w: deactivate(iter=%d)", ErrNotActive, msg.Iteration)
 	}
+	st.draining = true
+	slot.mu.Unlock()
+	// Drain in-flight stage/execute handlers before touching the backend —
+	// without this, Backend.Deactivate and DestroyComm race a Stage/Execute
+	// still running on the iteration.
+	st.inflight.Wait()
+	slot.mu.Lock()
 	err = slot.backend.Deactivate(msg.Iteration)
 	p.mn.DestroyComm(st.comm)
 	slot.active = nil
@@ -470,6 +525,13 @@ func (p *Provider) handleLeave(req mercury.Request) ([]byte, error) {
 }
 
 func (p *Provider) finishLeave(fn func()) {
+	p.mu.Lock()
+	if p.left {
+		p.mu.Unlock()
+		return
+	}
+	p.left = true
+	p.mu.Unlock()
 	p.migrateStatefulPipelines()
 	if p.group != nil {
 		p.group.Leave()

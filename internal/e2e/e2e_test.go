@@ -201,7 +201,9 @@ func TestSurvivesServerCrashMidRun(t *testing.T) {
 		}
 	}
 	h := client.Handle("viz", servers[0].Addr())
-	h.SetTimeout(200 * time.Millisecond)
+	// Long enough that a loaded -race run doesn't time out a healthy
+	// execute; crash detection below rests on SWIM suspicion, not this.
+	h.SetTimeout(500 * time.Millisecond)
 	mb := sim.DefaultMandelbulb([3]int{12, 12, 8}, 4)
 	runIteration(t, h, mb, 1, 3)
 

@@ -46,6 +46,17 @@ type Request struct {
 // a non-nil error is transported to the caller as a *RemoteError.
 type Handler func(req Request) ([]byte, error)
 
+// CallHook intercepts outgoing calls before the request frame is sent; a
+// non-nil return fails the call locally without sending. The hook may also
+// sleep to delay specific RPCs. Used by the chaos harness to target
+// individual RPC names (prepare, commit, stage, ...) on the caller side.
+type CallHook func(to, name string) error
+
+// ServeHook intercepts incoming requests before their handler runs; a
+// non-nil return is sent to the caller as a *RemoteError and the handler is
+// skipped. The callee-side analog of CallHook.
+type ServeHook func(req Request) error
+
 // DefaultTimeout is used by Call when the caller passes 0.
 const DefaultTimeout = 10 * time.Second
 
@@ -66,9 +77,11 @@ const bulkPullRPC = "__mercury/bulk_pull"
 type Class struct {
 	ep na.Endpoint
 
-	mu       sync.RWMutex
-	handlers map[string]Handler
-	closed   bool
+	mu        sync.RWMutex
+	handlers  map[string]Handler
+	callHook  CallHook
+	serveHook ServeHook
+	closed    bool
 
 	pmu     sync.Mutex
 	pending map[uint64]chan response
@@ -117,11 +130,35 @@ func (c *Class) Deregister(name string) {
 	c.mu.Unlock()
 }
 
+// SetCallHook installs (or, with nil, removes) a fault-injection hook run
+// before every outgoing Call.
+func (c *Class) SetCallHook(h CallHook) {
+	c.mu.Lock()
+	c.callHook = h
+	c.mu.Unlock()
+}
+
+// SetServeHook installs (or, with nil, removes) a fault-injection hook run
+// before every incoming request's handler.
+func (c *Class) SetServeHook(h ServeHook) {
+	c.mu.Lock()
+	c.serveHook = h
+	c.mu.Unlock()
+}
+
 // Call invokes the named RPC at address to and waits for the response.
 // timeout<=0 selects DefaultTimeout.
 func (c *Class) Call(to, name string, payload []byte, timeout time.Duration) ([]byte, error) {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
+	}
+	c.mu.RLock()
+	hook := c.callHook
+	c.mu.RUnlock()
+	if hook != nil {
+		if err := hook(to, name); err != nil {
+			return nil, fmt.Errorf("mercury: injected call fault for %s at %s: %w", name, to, err)
+		}
 	}
 	id := c.nextID.Add(1)
 	ch := make(chan response, 1)
@@ -200,7 +237,18 @@ func (c *Class) serve(from string, id uint64, name string, payload []byte, h Han
 	if h == nil {
 		status = 2
 	} else {
-		res, err := h(Request{From: from, Name: name, Payload: payload})
+		req := Request{From: from, Name: name, Payload: payload}
+		c.mu.RLock()
+		sh := c.serveHook
+		c.mu.RUnlock()
+		var res []byte
+		var err error
+		if sh != nil {
+			err = sh(req)
+		}
+		if err == nil {
+			res, err = h(req)
+		}
 		if err != nil {
 			status = 1
 			out = []byte(err.Error())
@@ -256,4 +304,16 @@ func splitRequest(body []byte) (name string, payload []byte, ok bool) {
 		return "", nil, false
 	}
 	return string(body[4 : 4+nl]), body[4+nl:], true
+}
+
+// RPCNameOf extracts the RPC name from a raw request frame. It is the
+// classifier transport-level fault plans use to target specific RPCs
+// (na.FaultPlan.SetClassifier); ok is false for responses and frames that
+// are not Mercury requests.
+func RPCNameOf(frame []byte) (name string, ok bool) {
+	if len(frame) < 9 || frame[0] != kindRequest {
+		return "", false
+	}
+	name, _, ok = splitRequest(frame[9:])
+	return name, ok
 }

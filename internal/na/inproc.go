@@ -21,6 +21,8 @@ type InprocNetwork struct {
 	dropProb  float64
 	linkDelay time.Duration
 	parts     map[[2]string]bool
+	oneWay    map[[2]string]bool // directed [from, to] cuts
+	plan      *FaultPlan
 	rng       *rand.Rand
 }
 
@@ -30,6 +32,7 @@ func NewInprocNetwork() *InprocNetwork {
 		eps:      make(map[string]*inprocEP),
 		everSeen: make(map[string]bool),
 		parts:    make(map[[2]string]bool),
+		oneWay:   make(map[[2]string]bool),
 		rng:      rand.New(rand.NewSource(1)),
 	}
 }
@@ -83,6 +86,45 @@ func (n *InprocNetwork) Partition(a, b string, cut bool) {
 	n.mu.Unlock()
 }
 
+// PartitionOneWay cuts (or heals) only the from→to direction: from's
+// messages to to are lost while to can still reach from — the asymmetric
+// failure mode that distinguishes a slow link from a dead peer.
+func (n *InprocNetwork) PartitionOneWay(from, to string, cut bool) {
+	n.mu.Lock()
+	if cut {
+		n.oneWay[[2]string{from, to}] = true
+	} else {
+		delete(n.oneWay, [2]string{from, to})
+	}
+	n.mu.Unlock()
+}
+
+// SetFaultPlan installs (or, with nil, removes) a scriptable fault plan
+// consulted on every delivery, after partitions and the global drop
+// probability.
+func (n *InprocNetwork) SetFaultPlan(p *FaultPlan) {
+	n.mu.Lock()
+	n.plan = p
+	n.mu.Unlock()
+}
+
+// Crash abruptly closes the endpoint with the given address, simulating a
+// process crash: its pending queue is dropped, subsequent sends to it are
+// silently lost (the address stays known), and sends from it fail with
+// ErrClosed. A later Listen with the same name restarts the endpoint.
+func (n *InprocNetwork) Crash(addr string) error {
+	if !strings.HasPrefix(addr, "inproc://") {
+		addr = "inproc://" + addr
+	}
+	n.mu.Lock()
+	ep, ok := n.eps[addr]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoRoute, addr)
+	}
+	return ep.Close()
+}
+
 // Endpoints returns the addresses currently listening, in no particular
 // order.
 func (n *InprocNetwork) Endpoints() []string {
@@ -107,6 +149,11 @@ func (e *inprocEP) Addr() string { return e.addr }
 func (e *inprocEP) Send(to string, data []byte) error {
 	n := e.net
 	n.mu.Lock()
+	if n.eps[e.addr] != e {
+		// This endpoint was closed or crashed: a dead process cannot send.
+		n.mu.Unlock()
+		return ErrClosed
+	}
 	dst, ok := n.eps[to]
 	if !ok {
 		seen := n.everSeen[to]
@@ -120,7 +167,7 @@ func (e *inprocEP) Send(to string, data []byte) error {
 	if e.addr > to {
 		key = [2]string{to, e.addr}
 	}
-	if n.parts[key] {
+	if n.parts[key] || n.oneWay[[2]string{e.addr, to}] {
 		n.mu.Unlock()
 		return nil // partitioned: silently lost
 	}
@@ -129,8 +176,16 @@ func (e *inprocEP) Send(to string, data []byte) error {
 		return nil
 	}
 	delay := n.linkDelay
+	plan := n.plan
 	n.mu.Unlock()
 
+	if plan != nil {
+		v := plan.Decide(e.addr, to, data)
+		if v.Drop {
+			return nil // injected fault: silently lost
+		}
+		delay += v.Delay
+	}
 	cp := append([]byte(nil), data...)
 	pkt := packet{from: e.addr, data: cp}
 	if delay > 0 {
@@ -152,7 +207,11 @@ func (e *inprocEP) Recv() (string, []byte, error) {
 func (e *inprocEP) Close() error {
 	e.closed.Do(func() {
 		e.net.mu.Lock()
-		delete(e.net.eps, e.addr)
+		// Only deregister ourselves: after a crash-and-restart the name may
+		// already be bound to a fresh endpoint we must not tear down.
+		if e.net.eps[e.addr] == e {
+			delete(e.net.eps, e.addr)
+		}
 		e.net.mu.Unlock()
 		e.q.close()
 	})
