@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build vet test race ci
+.PHONY: all build vet test race cover fuzz ci
+
+# Packages whose statement coverage is gated (see `cover`).
+COVER_PKGS = ./internal/obs/ ./internal/collectives/ ./internal/icet/
+COVER_FLOOR = 60
 
 all: build vet test
 
@@ -15,6 +19,15 @@ test:
 
 race:
 	$(GO) test -race -timeout 600s ./...
+
+# Enforce the coverage floor on the gated packages. Fuzz seed corpora run
+# as part of the normal test pass (go test executes every f.Add seed).
+cover:
+	./ci.sh cover
+
+# Short smoke run of the fuzzers beyond their seed corpora.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzParseLegacyImageData -fuzztime=10s ./internal/vtk/
 
 # Focused run of the chaos/fault-injection suites.
 chaos:

@@ -1,8 +1,34 @@
 #!/bin/sh
 # Tier-1 gate: everything here must pass before a change lands.
+# `./ci.sh cover` runs only the coverage floor check.
 set -eux
+
+# Coverage floor for the packages whose correctness the rest of the stack
+# leans on (metrics math, collective algorithms, image compositing). Fuzz
+# seed corpora run as ordinary tests inside these passes.
+check_cover() {
+    floor=60
+    go test -cover ./internal/obs/ ./internal/collectives/ ./internal/icet/ |
+        awk -v floor="$floor" '
+            /coverage:/ {
+                pct = $0
+                sub(/.*coverage: /, "", pct)
+                sub(/%.*/, "", pct)
+                printf "%-40s %s%%\n", $2, pct
+                if (pct + 0 < floor) { bad = 1 }
+            }
+            END {
+                if (bad) { print "coverage below " floor "% floor"; exit 1 }
+            }'
+}
+
+if [ "${1:-}" = "cover" ]; then
+    check_cover
+    exit 0
+fi
 
 go build ./...
 go vet ./...
 go test -timeout 300s ./...
 go test -race -timeout 600s ./...
+check_cover

@@ -11,6 +11,8 @@
 //	colza-ctl -server tcp://... list
 //	colza-ctl -server tcp://... destroy viz
 //	colza-ctl -server tcp://... leave
+//	colza-ctl -server tcp://... metrics
+//	colza-ctl -server tcp://... trace
 package main
 
 import (
@@ -35,7 +37,9 @@ commands:
   create <name> <type> [json]    create a pipeline on the target server
   create-all <name> <type> [json] create a pipeline on every member
   destroy <name>                  destroy a pipeline on the target server
-  leave                           ask the target server to leave`)
+  leave                           ask the target server to leave
+  metrics                         dump the target server's metrics registry
+  trace                           dump the target server's span trace (JSON lines)`)
 	os.Exit(2)
 }
 
@@ -129,6 +133,23 @@ func main() {
 			fatal("%v", err)
 		}
 		fmt.Println("ok")
+	case "metrics":
+		text, err := admin.Metrics(target)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Print(text)
+	case "trace":
+		recs, err := admin.Trace(target)
+		if err != nil {
+			fatal("%v", err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		for _, rec := range recs {
+			if err := enc.Encode(rec); err != nil {
+				fatal("%v", err)
+			}
+		}
 	default:
 		usage()
 	}

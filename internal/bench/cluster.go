@@ -10,6 +10,7 @@ import (
 	"colza/internal/core"
 	"colza/internal/margo"
 	"colza/internal/na"
+	"colza/internal/obs"
 	"colza/internal/ssg"
 )
 
@@ -24,6 +25,10 @@ type Cluster struct {
 	MI      *margo.Instance
 	Client  *core.Client
 	Admin   *core.AdminClient
+	// Obs is the client-side registry: activate/stage/execute/deactivate
+	// spans and retry counters land here, separate from the per-server
+	// registries (Server.Obs).
+	Obs *obs.Registry
 
 	name   string
 	ssgCfg ssg.Config
@@ -58,6 +63,8 @@ func NewCluster(n int) (*Cluster, error) {
 	c.MI = margo.NewInstance(ep)
 	c.Client = core.NewClient(c.MI)
 	c.Admin = core.NewAdminClient(c.MI)
+	c.Obs = obs.NewRegistry()
+	c.Client.SetObserver(c.Obs)
 	if err := c.WaitSize(n, 30*time.Second); err != nil {
 		return nil, err
 	}
@@ -134,6 +141,38 @@ func (c *Cluster) CreatePipelineOn(s *core.Server, name, typeName string, cfg in
 		return err
 	}
 	return c.Admin.CreatePipeline(s.Addr(), name, typeName, raw)
+}
+
+// MergedHistogram merges one named histogram across every live server's
+// registry — the fleet-wide latency distribution (e.g. "span.srv.stage" for
+// a pipeline label), from which experiments report p50/p95/p99.
+func (c *Cluster) MergedHistogram(key string) obs.HistSnapshot {
+	var out obs.HistSnapshot
+	for _, s := range c.Servers {
+		if s.Provider.Leaving() {
+			continue
+		}
+		out = out.Merge(s.Obs.Snapshot().Histograms[key])
+	}
+	return out
+}
+
+// CollectTraces fetches every live server's span records over the admin
+// interface and appends the client-side trace, giving experiments the full
+// per-iteration timeline of a run.
+func (c *Cluster) CollectTraces() ([]obs.SpanRecord, error) {
+	var out []obs.SpanRecord
+	for _, s := range c.Servers {
+		if s.Provider.Leaving() {
+			continue
+		}
+		recs, err := c.Admin.Trace(s.Addr())
+		if err != nil {
+			return nil, fmt.Errorf("bench: collecting trace from %s: %w", s.Addr(), err)
+		}
+		out = append(out, recs...)
+	}
+	return append(out, c.Obs.Trace()...), nil
 }
 
 // Shutdown kills everything.

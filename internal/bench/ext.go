@@ -25,10 +25,14 @@ func ExtAutoscale(quick bool) (*Table, error) {
 	maxServers := 10
 	target := 60 * time.Millisecond
 	if quick {
-		dwi = sim.DWIConfig{Blocks: 32, Iterations: 10, BaseRes: 24, GrowthRes: 4}
+		// The growing DWI workload must cross the target early enough for
+		// two scale-ups (plus the cooldown between them) to fit in the run
+		// even on a fast machine — a low target and a couple of spare
+		// iterations keep the shape assertions timing-robust.
+		dwi = sim.DWIConfig{Blocks: 32, Iterations: 12, BaseRes: 24, GrowthRes: 4}
 		width = 128
 		maxServers = 5
-		target = 25 * time.Millisecond
+		target = 10 * time.Millisecond
 	}
 	fb := frameBytes(width, width)
 	vcfg := catalyst.VolumeConfig{

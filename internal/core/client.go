@@ -1,24 +1,35 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"colza/internal/margo"
+	"colza/internal/obs"
 )
 
 // ErrActivateFailed is returned when the activate 2PC cannot reach
 // agreement after retries (e.g. persistent membership churn).
 var ErrActivateFailed = errors.New("colza: activate could not reach agreement")
 
+// SpanKeyFor builds the client-side span key for a pipeline iteration
+// (rank -1 marks the simulation side, which has no staging rank).
+func SpanKeyFor(pipeline string, it uint64) obs.SpanKey {
+	return obs.SpanKey{Pipeline: pipeline, Iteration: it, Rank: -1}
+}
+
 // Client is a simulation-side connection to the staging area. One Client
 // serves any number of pipeline handles; it caches server info lookups.
 type Client struct {
 	mi *margo.Instance
+
+	obsReg atomic.Pointer[obs.Registry]
 
 	mu        sync.Mutex
 	infoCache map[string]ServerInfo
@@ -32,14 +43,35 @@ func NewClient(mi *margo.Instance) *Client {
 // Margo exposes the client's instance (for bulk registration).
 func (c *Client) Margo() *margo.Instance { return c.mi }
 
+// SetObserver routes the client's metrics and spans into r (and the
+// underlying Margo instance's RPC metrics with them). Tests and benchmarks
+// give each simulated client rank its own registry this way.
+func (c *Client) SetObserver(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	c.obsReg.Store(r)
+	c.mi.SetObserver(r)
+}
+
+func (c *Client) observer() *obs.Registry {
+	if r := c.obsReg.Load(); r != nil {
+		return r
+	}
+	return obs.Default()
+}
+
 // call invokes a colza RPC and maintains the info cache: any failure at the
 // transport level (timeout, unreachable) means what we know about that
 // server may be stale, so its cached address mapping is evicted. Remote
 // errors leave the cache alone — the server answered, it is alive.
 func (c *Client) call(addr, rpc string, payload []byte, timeout time.Duration) ([]byte, error) {
 	out, err := c.mi.CallProvider(addr, ProviderID, rpc, payload, timeout)
-	if err != nil && Classify(err) != ClassRemote {
-		c.evictInfo(addr)
+	if cls := Classify(err); cls != ClassOK {
+		c.observer().Counter("colza.call.errors", "rpc", rpc, "class", cls.String()).Inc()
+		if cls != ClassRemote {
+			c.evictInfo(addr)
+		}
 	}
 	return out, err
 }
@@ -340,7 +372,7 @@ func (h *DistributedPipelineHandle) cleanupBroadcast(view MemberView, rpc string
 // If the group has no churn the first attempt succeeds (the paper's
 // "no overhead if the group hasn't changed"); under churn the client
 // refreshes its view and retries.
-func (h *DistributedPipelineHandle) Activate(it uint64) (MemberView, error) {
+func (h *DistributedPipelineHandle) Activate(it uint64) (view_ MemberView, err_ error) {
 	h.mu.Lock()
 	timeout := h.timeout
 	retries := h.retries
@@ -351,8 +383,15 @@ func (h *DistributedPipelineHandle) Activate(it uint64) (MemberView, error) {
 	viewRetry := h.viewRetry
 	h.mu.Unlock()
 
+	reg := h.c.observer()
+	sp := reg.StartSpan("activate", SpanKeyFor(h.pipeline, it))
+	defer func() { sp.End(err_) }()
+
 	var lastErr error
 	for attempt := 0; attempt < retries; attempt++ {
+		if attempt > 0 {
+			reg.Counter("colza.activate.retries", "pipeline", h.pipeline).Inc()
+		}
 		if attempt > 0 || len(view.Members) == 0 {
 			v, err := h.refreshView(timeout)
 			if err != nil {
@@ -437,13 +476,16 @@ func (h *DistributedPipelineHandle) tryActivate(it uint64, view MemberView, time
 // duplicate a block the server already pulled, so staging is at-least-once:
 // pipelines that cannot tolerate duplicates must deduplicate on
 // (iteration, block id), which BlockMeta carries for exactly that purpose.
-func (h *DistributedPipelineHandle) Stage(it uint64, meta BlockMeta, data []byte) error {
+func (h *DistributedPipelineHandle) Stage(it uint64, meta BlockMeta, data []byte) (err_ error) {
 	h.mu.Lock()
 	view := h.view
 	placement := h.placement
 	timeout := h.timeout
 	retry := h.stageRetry
 	h.mu.Unlock()
+	reg := h.c.observer()
+	sp := reg.StartSpan("stage", SpanKeyFor(h.pipeline, it))
+	defer func() { sp.End(err_) }()
 	if len(view.Members) == 0 {
 		return fmt.Errorf("colza: stage before activate (no pinned view)")
 	}
@@ -458,27 +500,33 @@ func (h *DistributedPipelineHandle) Stage(it uint64, meta BlockMeta, data []byte
 	var err error
 	for attempt := 0; attempt < retry.attempts(); attempt++ {
 		if attempt > 0 {
+			reg.Counter("colza.stage.retries", "pipeline", h.pipeline).Inc()
 			time.Sleep(h.backoff(retry, attempt-1))
 		}
 		_, err = h.c.call(view.Members[target].RPC, "stage", payload, timeout)
 		if err == nil {
+			reg.Counter("colza.stage.bytes", "pipeline", h.pipeline).Add(int64(len(data)))
+			reg.Counter("colza.stage.blocks", "pipeline", h.pipeline).Inc()
 			return nil
 		}
 		if !Retryable(err) {
 			break
 		}
 	}
+	reg.Counter("colza.stage.failed", "pipeline", h.pipeline).Inc()
 	return fmt.Errorf("colza: stage block %d on %s: %w", meta.BlockID, view.Members[target].RPC, err)
 }
 
 // Execute triggers the pipeline's analysis on every server and returns the
 // per-rank results. The paper notes this is issued by a single client
 // process and coordinated across the servers.
-func (h *DistributedPipelineHandle) Execute(it uint64) ([]ExecResult, error) {
+func (h *DistributedPipelineHandle) Execute(it uint64) (res_ []ExecResult, err_ error) {
 	h.mu.Lock()
 	view := h.view
 	timeout := h.timeout
 	h.mu.Unlock()
+	sp := h.c.observer().StartSpan("execute", SpanKeyFor(h.pipeline, it))
+	defer func() { sp.End(err_) }()
 	if len(view.Members) == 0 {
 		return nil, fmt.Errorf("colza: execute before activate")
 	}
@@ -498,11 +546,13 @@ func (h *DistributedPipelineHandle) Execute(it uint64) ([]ExecResult, error) {
 
 // Deactivate completes the iteration everywhere: staged data is released
 // and membership unfrozen, so servers may join and leave again.
-func (h *DistributedPipelineHandle) Deactivate(it uint64) error {
+func (h *DistributedPipelineHandle) Deactivate(it uint64) (err_ error) {
 	h.mu.Lock()
 	view := h.view
 	timeout := h.timeout
 	h.mu.Unlock()
+	sp := h.c.observer().StartSpan("deactivate", SpanKeyFor(h.pipeline, it))
+	defer func() { sp.End(err_) }()
 	if len(view.Members) == 0 {
 		return fmt.Errorf("colza: deactivate before activate")
 	}
@@ -660,4 +710,35 @@ func (a *AdminClient) ListTypes(serverRPC string) ([]string, error) {
 func (a *AdminClient) RequestLeave(serverRPC string) error {
 	_, err := a.mi.CallProvider(serverRPC, AdminID, "leave", nil, a.timeout)
 	return err
+}
+
+// Metrics fetches one server's metrics registry as the stable text dump
+// (the payload `colza-ctl metrics` prints).
+func (a *AdminClient) Metrics(serverRPC string) (string, error) {
+	raw, err := a.mi.CallProvider(serverRPC, AdminID, "metrics", nil, a.timeout)
+	return string(raw), err
+}
+
+// MetricsSnapshot fetches one server's metrics as a structured snapshot,
+// which benchmarks merge across servers (HistSnapshot.Merge).
+func (a *AdminClient) MetricsSnapshot(serverRPC string) (obs.Snapshot, error) {
+	raw, err := a.mi.CallProvider(serverRPC, AdminID, "metrics_json", nil, a.timeout)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	var s obs.Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return obs.Snapshot{}, err
+	}
+	return s, nil
+}
+
+// Trace fetches one server's retained span records (JSON lines on the
+// wire), newest last.
+func (a *AdminClient) Trace(serverRPC string) ([]obs.SpanRecord, error) {
+	raw, err := a.mi.CallProvider(serverRPC, AdminID, "trace", nil, a.timeout)
+	if err != nil {
+		return nil, err
+	}
+	return obs.ParseTraceJSON(bytes.NewReader(raw))
 }

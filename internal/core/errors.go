@@ -35,6 +35,25 @@ const (
 	ClassLocal
 )
 
+// String names the class for logs and metric labels ("timeout",
+// "unreachable", ...), keeping the obs label vocabulary bounded.
+func (c ErrorClass) String() string {
+	switch c {
+	case ClassOK:
+		return "ok"
+	case ClassTimeout:
+		return "timeout"
+	case ClassUnreachable:
+		return "unreachable"
+	case ClassRemote:
+		return "remote"
+	case ClassLocal:
+		return "local"
+	default:
+		return "unknown"
+	}
+}
+
 // Classify maps an error from the RPC stack to its class.
 func Classify(err error) ErrorClass {
 	switch {

@@ -1,15 +1,18 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"colza/internal/margo"
 	"colza/internal/mercury"
 	"colza/internal/mona"
+	"colza/internal/obs"
 	"colza/internal/ssg"
 )
 
@@ -82,6 +85,7 @@ type preparedState struct {
 type activeState struct {
 	epoch     uint64
 	iteration uint64
+	rank      int
 	comm      *mona.Comm
 
 	// inflight counts stage/execute handlers currently running on the
@@ -112,12 +116,32 @@ type Provider struct {
 	mn    *mona.Instance
 	group *ssg.Group
 
+	obsReg atomic.Pointer[obs.Registry]
+
 	mu          sync.Mutex
 	pipelines   map[string]*pipelineSlot
 	activeIters int
 	leaving     bool
 	left        bool
 	onLeave     func()
+}
+
+// SetObserver routes this provider's metrics and spans (and the Margo
+// instance's transport metrics) into r; StartServer wires a per-server
+// registry through here.
+func (p *Provider) SetObserver(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	p.obsReg.Store(r)
+	p.mi.SetObserver(r)
+}
+
+func (p *Provider) observer() *obs.Registry {
+	if r := p.obsReg.Load(); r != nil {
+		return r
+	}
+	return obs.Default()
 }
 
 // NewProvider creates a provider on mi, using mn for pipeline collectives
@@ -144,6 +168,9 @@ func NewProvider(mi *margo.Instance, mn *mona.Instance, group *ssg.Group) *Provi
 	mi.RegisterProviderRPC(AdminID, "leave", p.handleLeave)
 	mi.RegisterProviderRPC(ProviderID, "migrate_state", p.handleMigrateState)
 	mi.RegisterProviderRPC(ProviderID, "activate_solo", p.handleActivateSolo)
+	mi.RegisterProviderRPC(AdminID, "metrics", p.handleMetrics)
+	mi.RegisterProviderRPC(AdminID, "metrics_json", p.handleMetricsJSON)
+	mi.RegisterProviderRPC(AdminID, "trace", p.handleTrace)
 	return p
 }
 
@@ -246,6 +273,11 @@ func (p *Provider) handlePrepare(req mercury.Request) ([]byte, error) {
 		return nil, err
 	}
 	vote := func(yes bool, reason string) ([]byte, error) {
+		v := "no"
+		if yes {
+			v = "yes"
+		}
+		p.observer().Counter("colza.prepare.votes", "vote", v).Inc()
 		return json.Marshal(voteMsg{Yes: yes, Reason: reason})
 	}
 	slot, err := p.slot(msg.Pipeline)
@@ -323,10 +355,13 @@ func (p *Provider) handleCommit(req mercury.Request) ([]byte, error) {
 		return nil, fmt.Errorf("colza: pipeline activate: %w", err)
 	}
 	slot.prepared = nil
-	slot.active = &activeState{epoch: st.epoch, iteration: st.iteration, comm: c}
+	slot.active = &activeState{epoch: st.epoch, iteration: st.iteration, rank: rank, comm: c}
 	p.mu.Lock()
 	p.activeIters++
 	p.mu.Unlock()
+	reg := p.observer()
+	reg.Counter("colza.commit.count", "pipeline", msg.Pipeline).Inc()
+	reg.Gauge("colza.active.iterations").Inc()
 	return []byte("ok"), nil
 }
 
@@ -363,17 +398,26 @@ func (p *Provider) handleStage(req mercury.Request) ([]byte, error) {
 		return nil, err
 	}
 	defer st.inflight.Done()
+	reg := p.observer()
+	sp := reg.StartSpan("srv.stage", obs.SpanKey{Pipeline: msg.Pipeline, Iteration: msg.Iteration, Rank: st.rank})
 	bulk, _, err := mercury.DecodeBulk(msg.Bulk)
 	if err != nil {
+		sp.End(err)
 		return nil, err
 	}
 	data, err := p.mi.Class().PullBulk(bulk)
 	if err != nil {
-		return nil, fmt.Errorf("colza: pulling staged block: %w", err)
-	}
-	if err := slot.backend.Stage(msg.Iteration, msg.Meta, data); err != nil {
+		err = fmt.Errorf("colza: pulling staged block: %w", err)
+		sp.End(err)
 		return nil, err
 	}
+	if err := slot.backend.Stage(msg.Iteration, msg.Meta, data); err != nil {
+		sp.End(err)
+		return nil, err
+	}
+	reg.Counter("colza.staged.bytes", "pipeline", msg.Pipeline).Add(int64(len(data)))
+	reg.Counter("colza.staged.blocks", "pipeline", msg.Pipeline).Inc()
+	sp.End(nil)
 	return []byte("ok"), nil
 }
 
@@ -405,7 +449,9 @@ func (p *Provider) handleExecute(req mercury.Request) ([]byte, error) {
 		return nil, err
 	}
 	defer st.inflight.Done()
+	sp := p.observer().StartSpan("srv.execute", obs.SpanKey{Pipeline: msg.Pipeline, Iteration: msg.Iteration, Rank: st.rank})
 	res, err := slot.backend.Execute(msg.Iteration)
+	sp.End(err)
 	if err != nil {
 		return nil, err
 	}
@@ -429,6 +475,7 @@ func (p *Provider) handleDeactivate(req mercury.Request) ([]byte, error) {
 	}
 	st.draining = true
 	slot.mu.Unlock()
+	sp := p.observer().StartSpan("srv.deactivate", obs.SpanKey{Pipeline: msg.Pipeline, Iteration: msg.Iteration, Rank: st.rank})
 	// Drain in-flight stage/execute handlers before touching the backend —
 	// without this, Backend.Deactivate and DestroyComm race a Stage/Execute
 	// still running on the iteration.
@@ -438,6 +485,7 @@ func (p *Provider) handleDeactivate(req mercury.Request) ([]byte, error) {
 	p.mn.DestroyComm(st.comm)
 	slot.active = nil
 	slot.mu.Unlock()
+	sp.End(err)
 	p.iterDone()
 	if err != nil {
 		return nil, err
@@ -448,6 +496,7 @@ func (p *Provider) handleDeactivate(req mercury.Request) ([]byte, error) {
 // iterDone decrements the active-iteration count and completes a deferred
 // leave once the server is idle.
 func (p *Provider) iterDone() {
+	p.observer().Gauge("colza.active.iterations").Dec()
 	p.mu.Lock()
 	p.activeIters--
 	doLeave := p.leaving && p.activeIters == 0
@@ -626,6 +675,31 @@ func sameRPCSet(v MemberView, members []string) bool {
 		}
 	}
 	return true
+}
+
+// handleMetrics serves the server's metrics registry as the stable text
+// dump (what `colza-ctl metrics` prints).
+func (p *Provider) handleMetrics(req mercury.Request) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := p.observer().WriteText(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// handleMetricsJSON serves the registry as a structured snapshot for
+// programmatic merging across servers.
+func (p *Provider) handleMetricsJSON(req mercury.Request) ([]byte, error) {
+	return json.Marshal(p.observer().Snapshot())
+}
+
+// handleTrace serves the retained span records as JSON lines.
+func (p *Provider) handleTrace(req mercury.Request) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := p.observer().WriteTraceJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // Leaving reports whether a leave has been requested.

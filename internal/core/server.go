@@ -6,17 +6,21 @@ import (
 	"colza/internal/margo"
 	"colza/internal/mona"
 	"colza/internal/na"
+	"colza/internal/obs"
 	"colza/internal/ssg"
 )
 
 // Server bundles everything one Colza staging process runs: a Margo
 // instance (RPC endpoint), a MoNA instance (collectives endpoint), SSG
-// membership, and the provider hosting pipelines.
+// membership, and the provider hosting pipelines. Obs is the server's own
+// metrics registry — per-server, so multi-server tests and deployments see
+// unaggregated numbers; merge snapshots for fleet-wide views.
 type Server struct {
 	MI       *margo.Instance
 	Mona     *mona.Instance
 	Group    *ssg.Group
 	Provider *Provider
+	Obs      *obs.Registry
 }
 
 // ServerConfig tunes a staging server.
@@ -52,7 +56,8 @@ func StartServer(rpcEP, monaEP na.Endpoint, cfg ServerConfig) (*Server, error) {
 		mn.Finalize()
 		return nil, fmt.Errorf("colza: starting server: %w", err)
 	}
-	s := &Server{MI: mi, Mona: mn, Group: group, Provider: NewProvider(mi, mn, group)}
+	s := &Server{MI: mi, Mona: mn, Group: group, Provider: NewProvider(mi, mn, group), Obs: obs.NewRegistry()}
+	s.Provider.SetObserver(s.Obs)
 	mi.OnFinalize(func() { mn.Finalize() })
 	return s, nil
 }

@@ -1,6 +1,7 @@
 package e2e
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"colza/internal/margo"
 	"colza/internal/mercury"
 	"colza/internal/na"
+	"colza/internal/obs"
 	"colza/internal/ssg"
 )
 
@@ -201,6 +203,8 @@ func TestChaosFaultPlanOnControlPlane(t *testing.T) {
 	mi := margo.NewInstance(ep)
 	defer mi.Finalize()
 	client := core.NewClient(mi)
+	reg := obs.NewRegistry()
+	client.SetObserver(reg)
 	admin := core.NewAdminClient(mi)
 	for _, s := range servers {
 		if err := admin.CreatePipeline(s.Addr(), "viz", "chaos", nil); err != nil {
@@ -236,6 +240,70 @@ func TestChaosFaultPlanOnControlPlane(t *testing.T) {
 		}
 	}
 	assertNoViolations(t)
+
+	// Obs-derived invariants: the client's registry must show the recovery
+	// the fault plan forced, with timings to match.
+	snap := reg.Snapshot()
+	if got := snap.Counters["colza.stage.retries{pipeline=viz}"]; got < 1 {
+		t.Errorf("dropped stage produced %d stage retries, want >= 1", got)
+	}
+	if got := snap.Counters["colza.activate.retries{pipeline=viz}"]; got < 1 {
+		t.Errorf("dropped prepare/commit produced %d activate retries, want >= 1", got)
+	}
+	stageHist := snap.Histograms["span.stage{pipeline=viz}"]
+	if want := int64(iters * (blocks + 1)); stageHist.Count != want {
+		t.Errorf("stage span count = %d, want %d", stageHist.Count, want)
+	}
+	// The dropped stage RPC stalls its (single, retry-spanning) Stage call
+	// for a full timeout before the retry lands, so the stage p99 must sit
+	// at timeout scale while the p50 stays well under it — the "one stall,
+	// quick recovery" shape.
+	p50, p99 := stageHist.Quantile(0.50), stageHist.Quantile(0.99)
+	if p99 < float64(100*time.Millisecond) {
+		t.Errorf("stage p99 = %v, want >= 100ms (a stage stalled a full 250ms timeout)", time.Duration(p99))
+	}
+	if p50 >= float64(100*time.Millisecond) {
+		t.Errorf("stage p50 = %v, want < 100ms (only one stage should have stalled)", time.Duration(p50))
+	}
+
+	// The trace export is the structured view of the same run: round-trip
+	// it through JSON lines and check the per-iteration timeline.
+	var buf bytes.Buffer
+	if err := reg.WriteTraceJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ParseTraceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	okActivates := map[uint64]bool{}
+	slowStages := 0
+	for _, r := range recs {
+		if r.Name == "activate" && r.Err == "" {
+			okActivates[r.Iteration] = true
+		}
+		if r.Name == "stage" && time.Duration(r.DurNS) >= 250*time.Millisecond {
+			slowStages++
+		}
+	}
+	for it := uint64(1); it <= iters; it++ {
+		if !okActivates[it] {
+			t.Errorf("trace has no successful activate span for iteration %d", it)
+		}
+	}
+	if slowStages < 1 {
+		t.Errorf("trace shows no stage span stalled past the 250ms timeout")
+	}
+
+	// Server-side registries saw the work too: every staged block (including
+	// the collapsed duplicates) produced a srv.stage span on some server.
+	var srvStage int64
+	for _, s := range servers {
+		srvStage += s.Obs.Snapshot().Histograms["span.srv.stage{pipeline=viz}"].Count
+	}
+	if want := int64(iters * (blocks + 1)); srvStage < want {
+		t.Errorf("servers recorded %d srv.stage spans, want >= %d", srvStage, want)
+	}
 }
 
 // TestChaosChurnCrashAndPartition runs the full elastic loop while servers

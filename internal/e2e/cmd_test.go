@@ -5,6 +5,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -148,6 +149,47 @@ func TestCommandLineDeployment(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The iteration must be visible through the observability surface:
+	// `colza-ctl metrics` prints non-zero RPC counters and stage-latency
+	// percentiles from the server's registry.
+	metrics := ctl("metrics")
+	assertMetricLine(t, metrics, "counter mercury.serve.count{rpc=colza::stage}")
+	assertMetricLine(t, metrics, "counter colza.staged.blocks{pipeline=viz}")
+	assertMetricLine(t, metrics, "counter colza.commit.count{pipeline=viz}")
+	if !strings.Contains(metrics, "hist span.srv.stage{pipeline=viz}") ||
+		!strings.Contains(metrics, "p99=") {
+		t.Fatalf("metrics lack stage span percentiles:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "hist span.srv.execute{pipeline=viz}") {
+		t.Fatalf("metrics lack execute span histogram:\n%s", metrics)
+	}
+
+	// `colza-ctl trace` emits the span records as JSON lines.
+	var spanNames []string
+	for _, line := range strings.Split(strings.TrimSpace(ctl("trace")), "\n") {
+		var rec struct {
+			Name      string `json:"name"`
+			Iteration uint64 `json:"iteration"`
+			DurNS     int64  `json:"dur_ns"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("trace line %q: %v", line, err)
+		}
+		if rec.Iteration != 1 {
+			t.Fatalf("trace span %q on iteration %d, want 1", rec.Name, rec.Iteration)
+		}
+		spanNames = append(spanNames, rec.Name)
+	}
+	for _, want := range []string{"srv.stage", "srv.execute", "srv.deactivate"} {
+		found := false
+		for _, n := range spanNames {
+			found = found || n == want
+		}
+		if !found {
+			t.Fatalf("trace has no %q span (got %v)", want, spanNames)
+		}
+	}
+
 	// Scale down through the admin tool: one server leaves gracefully.
 	view, err := client.FetchView(target, 10*time.Second)
 	if err != nil {
@@ -171,6 +213,23 @@ func TestCommandLineDeployment(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 	}
 	t.Fatalf("server never left:\n%s", ctl("members"))
+}
+
+// assertMetricLine asserts the text dump contains the given counter line
+// with a strictly positive value.
+func assertMetricLine(t *testing.T, metrics, prefix string) {
+	t.Helper()
+	for _, line := range strings.Split(metrics, "\n") {
+		if !strings.HasPrefix(line, prefix+" ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64); err == nil && v > 0 {
+			return
+		}
+		t.Fatalf("metric %q present but not positive: %q", prefix, line)
+	}
+	t.Fatalf("metrics lack %q:\n%s", prefix, metrics)
 }
 
 // jsonValid double-checks the pipeline config snippets used in docs parse.

@@ -1,0 +1,136 @@
+package icet
+
+import (
+	"fmt"
+	"testing"
+
+	"colza/internal/render"
+)
+
+// Table-driven edge cases at the odd staging-area sizes elastic rescaling
+// produces: 1, 3, 5, 7 ranks, both strategies, both modes, roots at every
+// boundary. Complements the algorithm-equivalence tests in icet_test.go.
+
+func TestEdgeCompositeOddSizesAllStrategiesModes(t *testing.T) {
+	const w, h = 14, 6
+	sizes := []int{1, 3, 5, 7}
+	for _, strat := range []Strategy{TreeReduce, BinarySwap} {
+		for _, mode := range []Mode{Depth, Ordered} {
+			for _, n := range sizes {
+				for _, root := range []int{0, n - 1} {
+					name := fmt.Sprintf("%v/%d/n=%d/root=%d", strat, mode, n, root)
+					res := runComposite(t, n, strat, mode, root, func(rank int) *render.Image {
+						im := render.NewImage(w, h)
+						// Each rank paints two columns with an opaque marker
+						// color; disjoint regions make depth and ordered
+						// compositing agree on the expected output.
+						x0 := (rank * 2) % w
+						paint(im, x0, x0+2, 0.5, uint8(50+rank), 77, 0)
+						return im
+					})
+					if res.W != w || res.H != h {
+						t.Fatalf("%s: result %dx%d", name, res.W, res.H)
+					}
+					for r := 0; r < n; r++ {
+						x := (r*2)%w + 1
+						cr, cg, _, _ := res.At(x, h/2)
+						if cr != uint8(50+r) || cg != 77 {
+							t.Fatalf("%s: rank %d region has (%d,%d), want (%d,77)",
+								name, r, cr, cg, 50+r)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEdgeSingleRankAllStrategiesReturnInput(t *testing.T) {
+	for _, strat := range []Strategy{TreeReduce, BinarySwap} {
+		for _, mode := range []Mode{Depth, Ordered} {
+			res := runComposite(t, 1, strat, mode, 0, func(rank int) *render.Image {
+				im := render.NewImage(5, 5)
+				paint(im, 0, 5, 0.1, 200, 100, 50)
+				return im
+			})
+			cr, cg, cb, _ := res.At(2, 2)
+			if cr != 200 || cg != 100 || cb != 50 {
+				t.Fatalf("strat=%v mode=%d: single-rank composite altered pixels (%d,%d,%d)",
+					strat, mode, cr, cg, cb)
+			}
+		}
+	}
+}
+
+func TestEdgeOrderedOddSizesMatchSequentialBlend(t *testing.T) {
+	// Every rank contributes a half-transparent full-frame layer; the
+	// expected pixel is the sequential front-to-back over-blend in rank
+	// order. Odd sizes force binary swap onto its tree fallback, so both
+	// strategies must give the sequential answer exactly.
+	const w, h = 4, 4
+	// Channel values stay <= alpha (valid premultiplied colors), so the
+	// 255-clamp never fires and blending is associative up to rounding.
+	layer := func(rank int) (rgba [4]uint8) {
+		return [4]uint8{uint8(10 * rank), uint8(90 - 12*rank), 30, 90}
+	}
+	for _, strat := range []Strategy{TreeReduce, BinarySwap} {
+		for _, n := range []int{3, 5, 7} {
+			res := runComposite(t, n, strat, Ordered, 0, func(rank int) *render.Image {
+				im := render.NewImage(w, h)
+				l := layer(rank)
+				for i := 0; i < w*h; i++ {
+					o := 4 * i
+					copy(im.RGBA[o:o+4], l[:])
+					im.Depth[i] = float32(rank) / 10
+				}
+				return im
+			})
+			// Sequential reference: front-to-back accumulation.
+			var acc [4]float64
+			for r := 0; r < n; r++ {
+				l := layer(r)
+				t1 := 1 - acc[3]/255
+				for k := 0; k < 4; k++ {
+					acc[k] += t1 * float64(l[k])
+					if acc[k] > 255 {
+						acc[k] = 255
+					}
+				}
+			}
+			cr, cg, cb, ca := res.At(1, 1)
+			got := [4]int{int(cr), int(cg), int(cb), int(ca)}
+			for k := 0; k < 4; k++ {
+				d := got[k] - int(acc[k])
+				if d < -n || d > n { // one rounding step per merge
+					t.Fatalf("strat=%v n=%d channel %d: got %d want ~%.0f", strat, n, k, got[k], acc[k])
+				}
+			}
+		}
+	}
+}
+
+func TestEdgeParseStrategy(t *testing.T) {
+	cases := map[string]Strategy{
+		"bswap":       BinarySwap,
+		"binary-swap": BinarySwap,
+		"tree":        TreeReduce,
+		"":            TreeReduce,
+		"garbage":     TreeReduce,
+	}
+	for in, want := range cases {
+		if got := ParseStrategy(in); got != want {
+			t.Fatalf("ParseStrategy(%q) = %v, want %v", in, got, want)
+		}
+	}
+	if s := Strategy(9).String(); s != "Strategy(9)" {
+		t.Fatalf("unknown strategy string %q", s)
+	}
+}
+
+func TestEdgeFinalRangeSingleActiveRank(t *testing.T) {
+	// p2 == 1 (group sizes 1): the lone active rank owns the whole image.
+	rng := finalRange(0, 1, 640)
+	if rng.lo != 0 || rng.hi != 640 {
+		t.Fatalf("finalRange(0,1) = %+v", rng)
+	}
+}

@@ -14,15 +14,19 @@ package margo
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"colza/internal/mercury"
 	"colza/internal/na"
+	"colza/internal/obs"
 )
 
 // Instance is one simulated service process: endpoint + RPC + tasking.
 type Instance struct {
 	class *mercury.Class
+
+	obsReg atomic.Pointer[obs.Registry]
 
 	mu        sync.Mutex
 	finalized bool
@@ -39,6 +43,23 @@ func NewInstance(ep na.Endpoint) *Instance {
 // Class exposes the underlying Mercury class for direct RPC and bulk use.
 func (m *Instance) Class() *mercury.Class { return m.class }
 
+// SetObserver routes the instance's metrics (and the underlying class's RPC
+// metrics) into r instead of the process default registry.
+func (m *Instance) SetObserver(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	m.obsReg.Store(r)
+	m.class.SetObserver(r)
+}
+
+func (m *Instance) observer() *obs.Registry {
+	if r := m.obsReg.Load(); r != nil {
+		return r
+	}
+	return obs.Default()
+}
+
 // Addr returns the instance address.
 func (m *Instance) Addr() string { return m.class.Addr() }
 
@@ -49,9 +70,21 @@ func ProviderRPCName(provider, rpc string) string {
 }
 
 // RegisterProviderRPC installs a handler for rpc under the given provider
-// name.
+// name. The handler is wrapped to record the instance's execution-stream
+// depth (how many provider handlers run concurrently, the analog of an
+// Argobots pool's queue depth) and per-handler dispatch latency.
 func (m *Instance) RegisterProviderRPC(provider, rpc string, h mercury.Handler) {
-	m.class.Register(ProviderRPCName(provider, rpc), h)
+	name := ProviderRPCName(provider, rpc)
+	m.class.Register(name, func(req mercury.Request) ([]byte, error) {
+		reg := m.observer()
+		reg.Gauge("margo.handlers.inflight").Inc()
+		start := reg.Now()
+		defer func() {
+			reg.Histogram("margo.dispatch.latency", "rpc", name).Observe(int64(reg.Now() - start))
+			reg.Gauge("margo.handlers.inflight").Dec()
+		}()
+		return h(req)
+	})
 }
 
 // CallProvider invokes a provider-qualified RPC at addr.
@@ -84,8 +117,11 @@ func (m *Instance) Periodic(interval time.Duration, fn func()) (stop func()) {
 	m.stops = append(m.stops, st)
 	m.wg.Add(1)
 	m.mu.Unlock()
+	tasks := m.observer().Gauge("margo.periodic.tasks")
+	tasks.Inc()
 	go func() {
 		defer m.wg.Done()
+		defer tasks.Dec()
 		t := time.NewTicker(interval)
 		defer t.Stop()
 		for {

@@ -53,14 +53,19 @@ func (c *Class) Expose(buf []byte) Bulk {
 	c.bmu.Lock()
 	c.bulks[id] = buf
 	c.bmu.Unlock()
+	c.observer().Gauge("mercury.bulk.exposed.bytes").Add(int64(len(buf)))
 	return Bulk{Addr: c.Addr(), ID: id, Size: len(buf)}
 }
 
 // Release deregisters a previously exposed region.
 func (c *Class) Release(b Bulk) {
 	c.bmu.Lock()
+	_, ok := c.bulks[b.ID]
 	delete(c.bulks, b.ID)
 	c.bmu.Unlock()
+	if ok {
+		c.observer().Gauge("mercury.bulk.exposed.bytes").Add(int64(-b.Size))
+	}
 }
 
 // PullBulk fetches the full region behind the handle, pipelining large
@@ -70,7 +75,15 @@ func (c *Class) PullBulk(b Bulk) ([]byte, error) {
 	if b.Size < 0 {
 		return nil, ErrBadBulk
 	}
+	reg := c.observer()
+	start := reg.Now()
+	defer func() {
+		reg.Histogram("mercury.bulk.pull.latency").Observe(int64(reg.Now() - start))
+	}()
+	reg.Counter("mercury.bulk.pull.count").Inc()
+	reg.Counter("mercury.bulk.pull.bytes").Add(int64(b.Size))
 	if b.Addr == c.Addr() {
+		reg.Counter("mercury.bulk.pull.local").Inc()
 		c.bmu.Lock()
 		src, ok := c.bulks[b.ID]
 		c.bmu.Unlock()

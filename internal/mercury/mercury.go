@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"colza/internal/na"
+	"colza/internal/obs"
 )
 
 // Errors returned by calls.
@@ -91,7 +92,25 @@ type Class struct {
 	nextID atomic.Uint64
 	nextBk atomic.Uint64
 
+	obsReg atomic.Pointer[obs.Registry]
+
 	wg sync.WaitGroup
+}
+
+// SetObserver routes this class's metrics into r instead of the process
+// default registry. Servers call it so each class reports into a per-server
+// registry.
+func (c *Class) SetObserver(r *obs.Registry) {
+	if r != nil {
+		c.obsReg.Store(r)
+	}
+}
+
+func (c *Class) observer() *obs.Registry {
+	if r := c.obsReg.Load(); r != nil {
+		return r
+	}
+	return obs.Default()
 }
 
 type response struct {
@@ -148,10 +167,22 @@ func (c *Class) SetServeHook(h ServeHook) {
 
 // Call invokes the named RPC at address to and waits for the response.
 // timeout<=0 selects DefaultTimeout.
-func (c *Class) Call(to, name string, payload []byte, timeout time.Duration) ([]byte, error) {
+func (c *Class) Call(to, name string, payload []byte, timeout time.Duration) (resp []byte, err error) {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
+	reg := c.observer()
+	reg.Counter("mercury.call.count", "rpc", name).Inc()
+	reg.Counter("mercury.call.bytes.out", "rpc", name).Add(int64(len(payload)))
+	start := reg.Now()
+	defer func() {
+		reg.Histogram("mercury.call.latency", "rpc", name).Observe(int64(reg.Now() - start))
+		if err != nil {
+			reg.Counter("mercury.call.errors", "rpc", name).Inc()
+		} else {
+			reg.Counter("mercury.call.bytes.in", "rpc", name).Add(int64(len(resp)))
+		}
+	}()
 	c.mu.RLock()
 	hook := c.callHook
 	c.mu.RUnlock()
@@ -232,6 +263,10 @@ func (c *Class) progress() {
 }
 
 func (c *Class) serve(from string, id uint64, name string, payload []byte, h Handler) {
+	reg := c.observer()
+	reg.Counter("mercury.serve.count", "rpc", name).Inc()
+	reg.Counter("mercury.serve.bytes.in", "rpc", name).Add(int64(len(payload)))
+	start := reg.Now()
 	var status byte
 	var out []byte
 	if h == nil {
@@ -255,6 +290,10 @@ func (c *Class) serve(from string, id uint64, name string, payload []byte, h Han
 		} else {
 			out = res
 		}
+	}
+	reg.Histogram("mercury.serve.latency", "rpc", name).Observe(int64(reg.Now() - start))
+	if status != 0 {
+		reg.Counter("mercury.serve.errors", "rpc", name).Inc()
 	}
 	frame := make([]byte, 0, 10+len(out))
 	frame = append(frame, kindResponse)

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// defaultTraceCap bounds the in-memory trace ring; older spans are dropped
+// once it fills (the drop count is kept so consumers can tell).
+const defaultTraceCap = 8192
+
+// SpanKey identifies what a span measured: which pipeline, which
+// iteration, on which rank. Rank -1 means "the client" (the simulation
+// side has no staging rank).
+type SpanKey struct {
+	Pipeline  string
+	Iteration uint64
+	Rank      int
+}
+
+// SpanRecord is one completed span as stored in the trace and exported as
+// a JSON line. Times are offsets from the registry clock's epoch, so
+// DES-backed traces carry virtual time.
+type SpanRecord struct {
+	Name      string `json:"name"`
+	Pipeline  string `json:"pipeline,omitempty"`
+	Iteration uint64 `json:"iteration"`
+	Rank      int    `json:"rank"`
+	StartNS   int64  `json:"start_ns"`
+	DurNS     int64  `json:"dur_ns"`
+	Err       string `json:"err,omitempty"`
+}
+
+// Span is an in-progress measurement. End completes it: the duration goes
+// into the histogram "span.<name>{pipeline=...}" and the record into the
+// trace ring.
+type Span struct {
+	r     *Registry
+	name  string
+	key   SpanKey
+	start time.Duration
+}
+
+// StartSpan begins a span on the registry clock.
+func (r *Registry) StartSpan(name string, key SpanKey) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{r: r, name: name, key: key, start: r.Now()}
+}
+
+// End completes the span, recording err (nil for success), and returns
+// the measured duration. It is safe on a nil span.
+func (s *Span) End(err error) time.Duration {
+	if s == nil || s.r == nil {
+		return 0
+	}
+	dur := s.r.Now() - s.start
+	if dur < 0 {
+		dur = 0
+	}
+	var labels []string
+	if s.key.Pipeline != "" {
+		labels = []string{"pipeline", s.key.Pipeline}
+	}
+	s.r.Histogram("span."+s.name, labels...).Observe(int64(dur))
+	rec := SpanRecord{
+		Name:      s.name,
+		Pipeline:  s.key.Pipeline,
+		Iteration: s.key.Iteration,
+		Rank:      s.key.Rank,
+		StartNS:   int64(s.start),
+		DurNS:     int64(dur),
+	}
+	if err != nil {
+		rec.Err = err.Error()
+		s.r.Counter("span."+s.name+".errors", labels...).Inc()
+	}
+	s.r.trace.append(rec)
+	return dur
+}
+
+// traceBuf is a mutex-guarded ring of completed spans.
+type traceBuf struct {
+	mu      sync.Mutex
+	cap     int
+	recs    []SpanRecord
+	dropped int64
+}
+
+func (t *traceBuf) append(rec SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cap <= 0 {
+		t.cap = defaultTraceCap
+	}
+	if len(t.recs) >= t.cap {
+		n := copy(t.recs, t.recs[1:])
+		t.recs = t.recs[:n]
+		t.dropped++
+	}
+	t.recs = append(t.recs, rec)
+}
+
+// SetTraceCapacity resizes the trace ring (existing newest records are
+// kept). Capacity below 1 is treated as 1.
+func (r *Registry) SetTraceCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	t := &r.trace
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cap = n
+	if len(t.recs) > n {
+		t.dropped += int64(len(t.recs) - n)
+		t.recs = append([]SpanRecord(nil), t.recs[len(t.recs)-n:]...)
+	}
+}
+
+// Trace returns a copy of the retained spans in completion order.
+func (r *Registry) Trace() []SpanRecord {
+	t := &r.trace
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.recs...)
+}
+
+// TraceDropped reports how many spans the ring has evicted.
+func (r *Registry) TraceDropped() int64 {
+	t := &r.trace
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WriteTraceJSON exports the trace as JSON lines (one SpanRecord per
+// line), the structured format internal/bench and the e2e chaos suite
+// consume to assert timing-shaped invariants.
+func (r *Registry) WriteTraceJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range r.Trace() {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseTraceJSON reverses WriteTraceJSON.
+func ParseTraceJSON(rd io.Reader) ([]SpanRecord, error) {
+	dec := json.NewDecoder(rd)
+	var out []SpanRecord
+	for dec.More() {
+		var rec SpanRecord
+		if err := dec.Decode(&rec); err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

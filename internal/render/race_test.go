@@ -1,0 +1,114 @@
+package render
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"colza/internal/sim"
+	"colza/internal/vtk"
+)
+
+// Race audit: a Colza staging server runs one rendering goroutine per
+// active pipeline iteration, so the rasterizer and volume splatter must be
+// safe when driven concurrently against distinct images (shared inputs,
+// private outputs). Run with -race (the tier-1 gate does) to let the
+// detector see the concurrent access patterns.
+
+func TestConcurrentRasterizeSharedMesh(t *testing.T) {
+	// One shared read-only mesh, many goroutines rasterizing into private
+	// framebuffers: the server-side pattern during parallel execute.
+	grid := sim.MandelbulbBlock(sim.DefaultMandelbulb([3]int{12, 12, 8}, 2), 0, 1)
+	mesh, err := vtk.Isosurface(grid, "value", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := MeshBounds(mesh)
+	cam := DefaultCamera(lo, hi)
+	const workers = 8
+	images := make([]*Image, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			im := NewImage(48, 48)
+			RasterizeMesh(im, cam, mesh, CoolWarm, [2]float64{0, 32})
+			images[w] = im
+		}(w)
+	}
+	wg.Wait()
+	// Determinism check doubles as a use of every result: all renders of
+	// the same scene must be byte-identical.
+	for w := 1; w < workers; w++ {
+		if !bytes.Equal(images[w].RGBA, images[0].RGBA) {
+			t.Fatalf("concurrent render %d differs from render 0", w)
+		}
+	}
+	if images[0].CoveredPixels() == 0 {
+		t.Fatal("renders covered no pixels — scene setup is wrong")
+	}
+}
+
+func TestConcurrentSplatVolumeSharedGrid(t *testing.T) {
+	grid := sim.DWIIterationBlock(sim.DWIConfig{Blocks: 4, Iterations: 2, BaseRes: 12, GrowthRes: 2}, 1, 0)
+	lo, hi := GridBounds(grid)
+	cam := DefaultCamera(lo, hi)
+	const workers = 6
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	images := make([]*Image, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			im := NewImage(32, 32)
+			errs[w] = SplatVolume(im, cam, grid, VolumeOptions{
+				Field: "velocity", ScalarRange: [2]float64{0, 2}, PointSize: 2,
+			})
+			images[w] = im
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	for w := 1; w < workers; w++ {
+		if !bytes.Equal(images[w].RGBA, images[0].RGBA) {
+			t.Fatalf("concurrent splat %d differs from splat 0", w)
+		}
+	}
+}
+
+func TestConcurrentEncodeDecodeColormaps(t *testing.T) {
+	// Encode/PNG/colormap lookups share no state; hammer them from many
+	// goroutines over the same source image (reads) into private outputs.
+	src := NewImage(24, 24)
+	src.SetBackground(3, 5, 7)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				enc := src.Encode()
+				dec, err := DecodeImage(enc)
+				if err != nil {
+					t.Errorf("decode: %v", err)
+					return
+				}
+				if _, err := dec.PNG(); err != nil {
+					t.Errorf("png: %v", err)
+					return
+				}
+				for s := 0; s <= 10; s++ {
+					CoolWarm(float64(s) / 10)
+					Viridis(float64(s) / 10)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

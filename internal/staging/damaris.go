@@ -24,10 +24,12 @@ package staging
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"colza/internal/catalyst"
 	"colza/internal/minimpi"
+	"colza/internal/obs"
 	"colza/internal/render"
 	"colza/internal/vtk"
 )
@@ -46,6 +48,22 @@ type Damaris struct {
 	clients []*DamarisClient
 	servers []*damarisServer
 	wg      sync.WaitGroup
+
+	obsReg atomic.Pointer[obs.Registry]
+}
+
+// SetObserver routes the deployment's staging metrics into r.
+func (d *Damaris) SetObserver(r *obs.Registry) {
+	if r != nil {
+		d.obsReg.Store(r)
+	}
+}
+
+func (d *Damaris) observer() *obs.Registry {
+	if r := d.obsReg.Load(); r != nil {
+		return r
+	}
+	return obs.Default()
 }
 
 // DamarisClient is one application rank's interface to Damaris: write
@@ -58,6 +76,7 @@ type DamarisClient struct {
 
 type damarisServer struct {
 	idx      int
+	d        *Damaris
 	sub      *minimpi.Comm // server-group communicator (split from world)
 	nclients int
 
@@ -121,6 +140,7 @@ func DeployDamaris(cfg DamarisConfig) (*Damaris, error) {
 	for s := 0; s < cfg.Servers; s++ {
 		srv := &damarisServer{
 			idx:      s,
+			d:        d,
 			sub:      subs[cfg.Clients+s],
 			nclients: perServer,
 			staged:   make(map[uint64][]*vtk.ImageData),
@@ -170,6 +190,9 @@ func (c *DamarisClient) Write(iteration uint64, img *vtk.ImageData) {
 	s.mu.Lock()
 	s.staged[iteration] = append(s.staged[iteration], img)
 	s.mu.Unlock()
+	reg := c.d.observer()
+	reg.Counter("staging.put.blocks").Inc()
+	reg.Counter("staging.put.bytes").Add(8 * int64(img.NumPoints()))
 }
 
 // Signal marks this client's end-of-iteration, the damaris_signal call.
@@ -219,7 +242,9 @@ func (s *damarisServer) run(cfg catalyst.IsoConfig) {
 		res.Stats = st
 		res.Image = img
 		res.Err = err
-		res.PluginSecs = time.Since(enter).Seconds()
+		elapsed := time.Since(enter)
+		s.d.observer().Histogram("staging.plugin.latency").Observe(int64(elapsed))
+		res.PluginSecs = elapsed.Seconds()
 		s.results <- res
 		if err != nil {
 			return

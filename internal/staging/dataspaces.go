@@ -1,8 +1,10 @@
 package staging
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"colza/internal/catalyst"
@@ -10,6 +12,7 @@ import (
 	"colza/internal/mercury"
 	"colza/internal/minimpi"
 	"colza/internal/na"
+	"colza/internal/obs"
 	"colza/internal/render"
 	"colza/internal/vtk"
 )
@@ -27,6 +30,22 @@ type DataSpaces struct {
 	mis     []*margo.Instance
 	servers []*dsServer
 	world   []*minimpi.Comm
+
+	obsReg atomic.Pointer[obs.Registry]
+}
+
+// SetObserver routes the deployment's staging metrics into r.
+func (ds *DataSpaces) SetObserver(r *obs.Registry) {
+	if r != nil {
+		ds.obsReg.Store(r)
+	}
+}
+
+func (ds *DataSpaces) observer() *obs.Registry {
+	if r := ds.obsReg.Load(); r != nil {
+		return r
+	}
+	return obs.Default()
 }
 
 // DataSpacesConfig configures a deployment.
@@ -37,11 +56,13 @@ type DataSpacesConfig struct {
 
 type dsServer struct {
 	idx  int
+	ds   *DataSpaces
 	mi   *margo.Instance
 	comm *minimpi.Comm
 
 	mu     sync.Mutex
 	staged map[uint64][]*vtk.ImageData
+	seen   map[uint64]map[int]int // iteration -> block id -> index into staged
 }
 
 // DSResult is one server's measurement of an Exec.
@@ -66,7 +87,8 @@ func DeployDataSpaces(net *na.InprocNetwork, cfg DataSpacesConfig) (*DataSpaces,
 			return nil, err
 		}
 		mi := margo.NewInstance(ep)
-		srv := &dsServer{idx: s, mi: mi, comm: ds.world[s], staged: make(map[uint64][]*vtk.ImageData)}
+		srv := &dsServer{idx: s, ds: ds, mi: mi, comm: ds.world[s],
+			staged: make(map[uint64][]*vtk.ImageData), seen: make(map[uint64]map[int]int)}
 		mi.RegisterProviderRPC("dspaces", "put", srv.handlePut)
 		ds.mis = append(ds.mis, mi)
 		ds.servers = append(ds.servers, srv)
@@ -84,23 +106,36 @@ func (ds *DataSpaces) Addrs() []string {
 }
 
 func (s *dsServer) handlePut(req mercury.Request) ([]byte, error) {
-	// Payload: 8-byte iteration then the encoded block (data was pulled
-	// via bulk by the caller-side helper; here it arrives inline for
-	// simplicity of the baseline).
-	if len(req.Payload) < 8 {
+	// Payload: 8-byte iteration, 4-byte block id, then the encoded block
+	// (data was pulled via bulk by the caller-side helper; here it arrives
+	// inline for simplicity of the baseline).
+	if len(req.Payload) < 12 {
 		return nil, fmt.Errorf("dataspaces: short put")
 	}
-	var iter uint64
-	for i := 0; i < 8; i++ {
-		iter |= uint64(req.Payload[i]) << (8 * i)
-	}
-	img, err := vtk.DecodeImageData(req.Payload[8:])
+	iter := binary.LittleEndian.Uint64(req.Payload)
+	blockID := int(int32(binary.LittleEndian.Uint32(req.Payload[8:])))
+	img, err := vtk.DecodeImageData(req.Payload[12:])
 	if err != nil {
 		return nil, err
 	}
+	reg := s.ds.observer()
 	s.mu.Lock()
+	if s.seen[iter] == nil {
+		s.seen[iter] = make(map[int]int)
+	}
+	if at, dup := s.seen[iter][blockID]; dup {
+		// A retried put after a lost response: staging is at-least-once, so
+		// the newest copy of the block replaces the old one.
+		s.staged[iter][at] = img
+		s.mu.Unlock()
+		reg.Counter("staging.dedupe.hits").Inc()
+		return []byte("ok"), nil
+	}
+	s.seen[iter][blockID] = len(s.staged[iter])
 	s.staged[iter] = append(s.staged[iter], img)
 	s.mu.Unlock()
+	reg.Counter("staging.put.blocks").Inc()
+	reg.Counter("staging.put.bytes").Add(int64(len(req.Payload) - 12))
 	return []byte("ok"), nil
 }
 
@@ -109,11 +144,10 @@ func (s *dsServer) handlePut(req mercury.Request) ([]byte, error) {
 func (ds *DataSpaces) Put(client *margo.Instance, iteration uint64, blockID int, img *vtk.ImageData) error {
 	target := ds.Addrs()[blockID%ds.cfg.Servers]
 	enc := img.Encode()
-	payload := make([]byte, 8+len(enc))
-	for i := 0; i < 8; i++ {
-		payload[i] = byte(iteration >> (8 * i))
-	}
-	copy(payload[8:], enc)
+	payload := make([]byte, 12+len(enc))
+	binary.LittleEndian.PutUint64(payload, iteration)
+	binary.LittleEndian.PutUint32(payload[8:], uint32(int32(blockID)))
+	copy(payload[12:], enc)
 	_, err := client.CallProvider(target, "dspaces", "put", payload, 30*time.Second)
 	return err
 }
@@ -132,11 +166,14 @@ func (ds *DataSpaces) Exec(iteration uint64) []DSResult {
 			srv.mu.Lock()
 			blocks := srv.staged[iteration]
 			delete(srv.staged, iteration)
+			delete(srv.seen, iteration)
 			srv.mu.Unlock()
 			start := time.Now()
 			ctrl := vtk.NewController("mpi", srv.comm)
 			st, img, err := catalyst.ExecuteIso(ctrl, blocks, ds.cfg.Iso)
-			out[i] = DSResult{Server: i, PluginSecs: time.Since(start).Seconds(), Stats: st, Image: img, Err: err}
+			elapsed := time.Since(start)
+			ds.observer().Histogram("staging.exec.latency").Observe(int64(elapsed))
+			out[i] = DSResult{Server: i, PluginSecs: elapsed.Seconds(), Stats: st, Image: img, Err: err}
 		}(i, srv)
 	}
 	wg.Wait()

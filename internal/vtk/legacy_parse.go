@@ -1,0 +1,262 @@
+package vtk
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements the reader for the STRUCTURED_POINTS legacy ASCII
+// datasets that (*ImageData).WriteLegacy produces, closing the round trip
+// so regression tests (and external tools) can feed legacy files back into
+// the proxy pipelines. The parser never panics on malformed input: every
+// failure surfaces as an error wrapping ErrParse.
+
+// ErrParse reports a malformed legacy VTK file.
+var ErrParse = fmt.Errorf("vtk: malformed legacy file")
+
+// parseLimits bound what a legacy file may ask us to allocate, so fuzzed
+// inputs cannot OOM the process. Dimensions mirror DecodeImageData's cap;
+// the point budget keeps dx*dy*dz (and per-array value counts) small.
+const (
+	maxLegacyDim    = 1 << 16
+	maxLegacyPoints = 1 << 24
+	maxLegacyComps  = 64
+	maxLegacyArrays = 256
+	maxLegacyValues = 1 << 24 // comps*points per array (64 MiB of float32)
+)
+
+// legacyScanner tokenizes a legacy ASCII file by whitespace-separated
+// words while tracking line structure only where the format requires it.
+type legacyScanner struct {
+	r *bufio.Reader
+}
+
+func parseErr(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrParse, fmt.Sprintf(format, args...))
+}
+
+// readLine returns the next line with trailing newline trimmed.
+func (s *legacyScanner) readLine() (string, error) {
+	line, err := s.r.ReadString('\n')
+	if err == io.EOF && line != "" {
+		return strings.TrimRight(line, "\r\n"), nil
+	}
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// word returns the next whitespace-separated token, skipping newlines.
+func (s *legacyScanner) word() (string, error) {
+	var b strings.Builder
+	for {
+		c, err := s.r.ReadByte()
+		if err != nil {
+			if b.Len() > 0 {
+				return b.String(), nil
+			}
+			return "", err
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			if b.Len() > 0 {
+				return b.String(), nil
+			}
+			continue
+		}
+		b.WriteByte(c)
+		if b.Len() > 1<<12 {
+			return "", parseErr("token too long")
+		}
+	}
+}
+
+func (s *legacyScanner) intWord(what string) (int, error) {
+	w, err := s.word()
+	if err != nil {
+		return 0, parseErr("missing %s", what)
+	}
+	v, err := strconv.Atoi(w)
+	if err != nil {
+		return 0, parseErr("bad %s %q", what, w)
+	}
+	return v, nil
+}
+
+func (s *legacyScanner) floatWord(what string) (float64, error) {
+	w, err := s.word()
+	if err != nil {
+		return 0, parseErr("missing %s", what)
+	}
+	v, err := strconv.ParseFloat(w, 64)
+	if err != nil {
+		return 0, parseErr("bad %s %q", what, w)
+	}
+	return v, nil
+}
+
+func (s *legacyScanner) triple(keyword string, parse func(string) error) error {
+	line, err := s.readLine()
+	if err != nil {
+		return parseErr("missing %s line", keyword)
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 4 || fields[0] != keyword {
+		return parseErr("want %q line, got %q", keyword, line)
+	}
+	for _, f := range fields[1:] {
+		if err := parse(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseLegacyImageData parses a legacy ASCII STRUCTURED_POINTS dataset as
+// written by (*ImageData).WriteLegacy. It returns the grid and the file's
+// title line. Malformed input yields an error wrapping ErrParse — never a
+// panic — and allocations are bounded regardless of what the header claims.
+func ParseLegacyImageData(r io.Reader) (*ImageData, string, error) {
+	s := &legacyScanner{r: bufio.NewReader(io.LimitReader(r, 1<<28))}
+
+	magic, err := s.readLine()
+	if err != nil {
+		return nil, "", parseErr("empty input")
+	}
+	if !strings.HasPrefix(magic, "# vtk DataFile Version ") {
+		return nil, "", parseErr("bad magic %q", magic)
+	}
+	title, err := s.readLine()
+	if err != nil {
+		return nil, "", parseErr("missing title line")
+	}
+	format, err := s.readLine()
+	if err != nil || strings.TrimSpace(format) != "ASCII" {
+		return nil, "", parseErr("want ASCII format, got %q", format)
+	}
+	dataset, err := s.readLine()
+	if err != nil {
+		return nil, "", parseErr("missing DATASET line")
+	}
+	fields := strings.Fields(dataset)
+	if len(fields) != 2 || fields[0] != "DATASET" {
+		return nil, "", parseErr("bad DATASET line %q", dataset)
+	}
+	if fields[1] != "STRUCTURED_POINTS" {
+		return nil, "", parseErr("unsupported dataset type %q", fields[1])
+	}
+
+	img := &ImageData{Spacing: [3]float64{1, 1, 1}}
+	di := 0
+	if err := s.triple("DIMENSIONS", func(f string) error {
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 1 || v > maxLegacyDim {
+			return parseErr("bad dimension %q", f)
+		}
+		img.Dims[di] = v
+		di++
+		return nil
+	}); err != nil {
+		return nil, "", err
+	}
+	if img.NumPoints() > maxLegacyPoints {
+		return nil, "", parseErr("grid too large: %d points", img.NumPoints())
+	}
+	fi := 0
+	if err := s.triple("ORIGIN", func(f string) error {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return parseErr("bad origin %q", f)
+		}
+		img.Origin[fi] = v
+		fi++
+		return nil
+	}); err != nil {
+		return nil, "", err
+	}
+	fi = 0
+	if err := s.triple("SPACING", func(f string) error {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || v <= 0 {
+			return parseErr("bad spacing %q", f)
+		}
+		img.Spacing[fi] = v
+		fi++
+		return nil
+	}); err != nil {
+		return nil, "", err
+	}
+
+	// POINT_DATA is optional: a grid with no arrays ends here.
+	kw, err := s.word()
+	if err == io.EOF {
+		return img, title, nil
+	}
+	if err != nil {
+		return nil, "", parseErr("reading POINT_DATA: %v", err)
+	}
+	if kw != "POINT_DATA" {
+		return nil, "", parseErr("want POINT_DATA, got %q", kw)
+	}
+	n, err := s.intWord("POINT_DATA count")
+	if err != nil {
+		return nil, "", err
+	}
+	if n != img.NumPoints() {
+		return nil, "", parseErr("POINT_DATA %d does not match %d grid points", n, img.NumPoints())
+	}
+
+	for {
+		kw, err := s.word()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, "", parseErr("reading array header: %v", err)
+		}
+		if kw != "SCALARS" {
+			return nil, "", parseErr("want SCALARS, got %q", kw)
+		}
+		if len(img.PointData) >= maxLegacyArrays {
+			return nil, "", parseErr("too many arrays")
+		}
+		name, err := s.word()
+		if err != nil {
+			return nil, "", parseErr("missing array name")
+		}
+		typ, err := s.word()
+		if err != nil || typ != "float" {
+			return nil, "", parseErr("want float array, got %q", typ)
+		}
+		comps, err := s.intWord("component count")
+		if err != nil {
+			return nil, "", err
+		}
+		if comps < 1 || comps > maxLegacyComps {
+			return nil, "", parseErr("bad component count %d", comps)
+		}
+		if comps*n > maxLegacyValues {
+			return nil, "", parseErr("array too large: %d values", comps*n)
+		}
+		lut, err := s.word()
+		if err != nil || lut != "LOOKUP_TABLE" {
+			return nil, "", parseErr("want LOOKUP_TABLE, got %q", lut)
+		}
+		if _, err := s.word(); err != nil {
+			return nil, "", parseErr("missing lookup table name")
+		}
+		a := NewDataArray(name, comps, n)
+		for i := range a.Data {
+			v, err := s.floatWord("array value")
+			if err != nil {
+				return nil, "", err
+			}
+			a.Data[i] = float32(v)
+		}
+		img.PointData = append(img.PointData, a)
+	}
+	return img, title, nil
+}

@@ -1,0 +1,135 @@
+package vtk
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleImage(dims [3]int, arrays int) *ImageData {
+	img := NewImageData(dims, [3]float64{-1, 0.5, 2}, [3]float64{0.25, 1, 3})
+	for a := 0; a < arrays; a++ {
+		name := string(rune('a' + a))
+		da := img.AddPointArray(name, a+1)
+		for i := range da.Data {
+			da.Data[i] = float32(math.Sin(float64(i*(a+1)))) * 100
+		}
+	}
+	return img
+}
+
+func TestLegacyImageDataRoundTrip(t *testing.T) {
+	cases := []struct {
+		name   string
+		dims   [3]int
+		arrays int
+	}{
+		{"no-arrays", [3]int{4, 3, 2}, 0},
+		{"one-scalar", [3]int{5, 5, 1}, 1},
+		{"multi-array", [3]int{3, 2, 4}, 3},
+		{"single-point", [3]int{1, 1, 1}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			img := sampleImage(tc.dims, tc.arrays)
+			var buf bytes.Buffer
+			if err := img.WriteLegacy(&buf, "round trip"); err != nil {
+				t.Fatal(err)
+			}
+			got, title, err := ParseLegacyImageData(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("parse: %v\n%s", err, buf.String())
+			}
+			if title != "round trip" {
+				t.Fatalf("title %q", title)
+			}
+			if got.Dims != img.Dims || got.Origin != img.Origin || got.Spacing != img.Spacing {
+				t.Fatalf("geometry mismatch: %+v vs %+v", got, img)
+			}
+			if len(got.PointData) != len(img.PointData) {
+				t.Fatalf("%d arrays, want %d", len(got.PointData), len(img.PointData))
+			}
+			for i, a := range img.PointData {
+				g := got.PointData[i]
+				if g.Name != a.Name || g.Components != a.Components {
+					t.Fatalf("array %d header mismatch: %+v vs %+v", i, g, a)
+				}
+				for j := range a.Data {
+					if g.Data[j] != a.Data[j] {
+						t.Fatalf("array %q value %d: %g vs %g", a.Name, j, g.Data[j], a.Data[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestLegacyImageDataMalformed(t *testing.T) {
+	valid := func() string {
+		var buf bytes.Buffer
+		sampleImage([3]int{2, 2, 2}, 1).WriteLegacy(&buf, "t")
+		return buf.String()
+	}()
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"bad-magic", strings.Replace(valid, "# vtk DataFile", "# not vtk", 1)},
+		{"binary-format", strings.Replace(valid, "ASCII", "BINARY", 1)},
+		{"wrong-dataset", strings.Replace(valid, "STRUCTURED_POINTS", "POLYDATA", 1)},
+		{"zero-dim", strings.Replace(valid, "DIMENSIONS 2 2 2", "DIMENSIONS 0 2 2", 1)},
+		{"huge-dim", strings.Replace(valid, "DIMENSIONS 2 2 2", "DIMENSIONS 99999999 99999999 99999999", 1)},
+		{"negative-spacing", strings.Replace(valid, "SPACING 0.25 1 3", "SPACING -1 1 3", 1)},
+		{"count-mismatch", strings.Replace(valid, "POINT_DATA 8", "POINT_DATA 9", 1)},
+		{"bad-value", strings.Replace(valid, "LOOKUP_TABLE default\n", "LOOKUP_TABLE default\nnot-a-number ", 1)},
+		{"truncated-values", valid[:len(valid)-20]},
+		{"missing-lut", strings.Replace(valid, "LOOKUP_TABLE default\n", "", 1)},
+		{"huge-comps", strings.Replace(valid, "SCALARS a float 1", "SCALARS a float 5000", 1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ParseLegacyImageData(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("malformed input accepted:\n%s", tc.input)
+			}
+			if !errors.Is(err, ErrParse) {
+				t.Fatalf("error %v does not wrap ErrParse", err)
+			}
+		})
+	}
+}
+
+// FuzzParseLegacyImageData asserts the parser never panics and that any
+// input it accepts re-serializes to something it accepts again with
+// identical geometry (parse → write → parse is a fixed point).
+func FuzzParseLegacyImageData(f *testing.F) {
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 2, 1}, {4, 4, 4}} {
+		var buf bytes.Buffer
+		sampleImage(dims, 2).WriteLegacy(&buf, "seed")
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("# vtk DataFile Version 3.0\nt\nASCII\nDATASET STRUCTURED_POINTS\n"))
+	f.Add([]byte("# vtk DataFile Version 3.0\nt\nASCII\nDATASET STRUCTURED_POINTS\n" +
+		"DIMENSIONS 2 1 1\nORIGIN 0 0 0\nSPACING 1 1 1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, title, err := ParseLegacyImageData(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := img.WriteLegacy(&buf, title); err != nil {
+			t.Fatalf("re-serialize accepted input: %v", err)
+		}
+		img2, _, err := ParseLegacyImageData(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse own output: %v\n%s", err, buf.String())
+		}
+		if img2.Dims != img.Dims || len(img2.PointData) != len(img.PointData) {
+			t.Fatalf("round trip changed shape: %v/%d vs %v/%d",
+				img2.Dims, len(img2.PointData), img.Dims, len(img.PointData))
+		}
+	})
+}
