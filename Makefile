@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race cover fuzz ci
+.PHONY: all build vet test race cover fuzz bench-smoke ci
 
 # Packages whose statement coverage is gated (see `cover`).
 COVER_PKGS = ./internal/obs/ ./internal/collectives/ ./internal/icet/
@@ -28,6 +28,14 @@ cover:
 # Short smoke run of the fuzzers beyond their seed corpora.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParseLegacyImageData -fuzztime=10s ./internal/vtk/
+
+# Zero-copy hot-path smoke: one racing pass over the micro-benchmarks
+# (correctness under -race), then the allocs/op regression gates in a pure
+# build (the ceilings exclude race-instrumentation overhead). See
+# internal/bench/micro.go and BENCH_3.json.
+bench-smoke:
+	$(GO) test -race -run NONE -bench 'BenchmarkStagePut|BenchmarkBulkPull|BenchmarkCompositePooled' -benchtime=1x ./internal/bench/
+	$(GO) test -count=1 -run 'AllocsCeiling' ./internal/bench/
 
 # Focused run of the chaos/fault-injection suites.
 chaos:

@@ -31,4 +31,7 @@ go build ./...
 go vet ./...
 go test -timeout 300s ./...
 go test -race -timeout 600s ./...
+# Allocs/op gate: the pooled stage/pull/composite hot paths must stay under
+# the ceilings locked in by internal/bench/micro_test.go (see BENCH_3.json).
+go test -count=1 -run 'AllocsCeiling' ./internal/bench/
 check_cover

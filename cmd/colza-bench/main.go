@@ -27,9 +27,26 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	out := flag.String("out", "", "also write results to this file")
 	csvDir := flag.String("csv", "", "also write each table as <dir>/<name>.csv")
+	benchJSON := flag.String("benchjson", "", "run the zero-copy micro-benchmarks and write the BENCH_3.json trajectory point to this path")
 	flag.Parse()
 
 	catalyst.Register()
+
+	if *benchJSON != "" {
+		data, err := bench.ZeroCopyTrajectoryJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchJSON, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+		if flag.NArg() == 0 {
+			return
+		}
+	}
 
 	if *list {
 		for _, e := range bench.All() {

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"testing"
+
+	"colza/internal/core"
+)
+
+// The `go test -bench` entry points for the zero-copy hot-path
+// micro-benchmarks (make bench-smoke); the bodies live in micro.go so
+// colza-bench can run the same code for the BENCH_3.json trajectory.
+
+func BenchmarkStagePut(b *testing.B)        { BenchStagePut(b) }
+func BenchmarkBulkPull(b *testing.B)        { BenchBulkPull(b) }
+func BenchmarkCompositePooled(b *testing.B) { BenchCompositePooled(b) }
+
+// Allocs/op ceilings locked in by this change. The pre-change baselines
+// (Baseline*Allocs in micro.go) were measured at the seed; these ceilings
+// hold the pooled hot paths at their new level with a little headroom for
+// runtime jitter — a regression past them fails CI before it fails a
+// trajectory comparison.
+const (
+	ceilStagePutAllocs  = 42.0 // >= 50% below the 85.0 baseline
+	ceilBulkPullAllocs  = 12.0 // baseline 21.0
+	ceilCompositeAllocs = 36.0 // baseline 48.0
+)
+
+// skipUnderRace: the race detector's instrumentation allocates on its own,
+// so the ceilings are asserted only in pure builds (`make bench-smoke` and
+// the ci.sh gate both run a non-race pass for exactly this reason).
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocs/op ceilings are measured without the race detector")
+	}
+}
+
+func TestStagePutAllocsCeiling(t *testing.T) {
+	skipUnderRace(t)
+	h, img, cleanup, err := stagePutEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	meta := core.BlockMeta{Field: "v", BlockID: 0, Type: "imagedata"}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := stagePutOp(h, img, meta); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("stage put: %.1f allocs/op (baseline %.1f, ceiling %.1f)", allocs, BaselineStagePutAllocs, ceilStagePutAllocs)
+	if allocs > ceilStagePutAllocs {
+		t.Errorf("stage put allocs/op = %.1f, ceiling %.1f", allocs, ceilStagePutAllocs)
+	}
+	if allocs > BaselineStagePutAllocs/2 {
+		t.Errorf("stage put allocs/op = %.1f, not >= 50%% below the %.1f baseline", allocs, BaselineStagePutAllocs)
+	}
+}
+
+func TestBulkPullAllocsCeiling(t *testing.T) {
+	skipUnderRace(t)
+	puller, bulk, cleanup, err := bulkPullEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	dst := make([]byte, bulk.Size)
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := puller.PullBulkInto(bulk, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("bulk pull: %.1f allocs/op (baseline %.1f, ceiling %.1f)", allocs, BaselineBulkPullAllocs, ceilBulkPullAllocs)
+	if allocs > ceilBulkPullAllocs {
+		t.Errorf("bulk pull allocs/op = %.1f, ceiling %.1f", allocs, ceilBulkPullAllocs)
+	}
+}
+
+func TestCompositeAllocsCeiling(t *testing.T) {
+	skipUnderRace(t)
+	world, imgs := compositeEnv()
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := compositeOp(world, imgs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("composite: %.1f allocs/op (baseline %.1f, ceiling %.1f)", allocs, BaselineCompositeAllocs, ceilCompositeAllocs)
+	if allocs > ceilCompositeAllocs {
+		t.Errorf("composite allocs/op = %.1f, ceiling %.1f", allocs, ceilCompositeAllocs)
+	}
+}

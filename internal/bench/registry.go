@@ -32,6 +32,7 @@ func All() []Experiment {
 		{"a5", "ablation: SSG gossip period vs propagation", wrap(AblationA5GossipPeriod)},
 		{"ext-autoscale", "extension: autoscaled DWI run (paper future work 2)", ExtAutoscale},
 		{"ext-shm", "extension: shared-memory vs cross-node MoNA (paper footnote 12)", ExtSharedMemory},
+		{"micro", "zero-copy hot path: allocs/op trajectory (BENCH_3)", MicroZeroCopy},
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"colza/internal/margo"
+	"colza/internal/mercury"
 	"colza/internal/na"
 )
 
@@ -279,7 +280,7 @@ func TestErrorClassification(t *testing.T) {
 	d := deploy(t, 1)
 	d.createEverywhere(t, "viz")
 	// Remote: handler ran and refused (stage without an active iteration).
-	msg, _ := json.Marshal(stageMsg{Pipeline: "viz", Iteration: 9})
+	msg := appendStageMsg(nil, "viz", 9, BlockMeta{}, mercury.Bulk{})
 	_, err := d.clientM.CallProvider(d.servers[0].Addr(), ProviderID, "stage", msg, time.Second)
 	if Classify(err) != ClassRemote || Retryable(err) {
 		t.Fatalf("remote refusal classified as %v retryable=%v", Classify(err), Retryable(err))

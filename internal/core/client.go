@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"colza/internal/bufpool"
 	"colza/internal/margo"
 	"colza/internal/obs"
 )
@@ -496,7 +497,10 @@ func (h *DistributedPipelineHandle) Stage(it uint64, meta BlockMeta, data []byte
 	cls := h.c.mi.Class()
 	bulk := cls.Expose(data)
 	defer cls.Release(bulk)
-	payload, _ := json.Marshal(stageMsg{Pipeline: h.pipeline, Iteration: it, Meta: meta, Bulk: bulk.Encode()})
+	// Binary stage frame in a pooled buffer (see stagewire.go); recycled
+	// after the retry loop since h.c.call is synchronous per attempt.
+	payload := appendStageMsg(bufpool.Get(stageMsgSize(h.pipeline, meta, bulk))[:0], h.pipeline, it, meta, bulk)
+	defer bufpool.Put(payload)
 	var err error
 	for attempt := 0; attempt < retry.attempts(); attempt++ {
 		if attempt > 0 {

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"colza/internal/bufpool"
 	"colza/internal/margo"
 	"colza/internal/mercury"
 	"colza/internal/mona"
@@ -51,12 +52,6 @@ type epochMsg struct {
 	Pipeline  string `json:"p"`
 	Iteration uint64 `json:"it"`
 	Epoch     uint64 `json:"e"`
-}
-type stageMsg struct {
-	Pipeline  string    `json:"p"`
-	Iteration uint64    `json:"it"`
-	Meta      BlockMeta `json:"m"`
-	Bulk      []byte    `json:"b"` // encoded mercury.Bulk handle
 }
 type createPipelineMsg struct {
 	Name   string          `json:"n"`
@@ -385,38 +380,41 @@ func (p *Provider) handleAbort(req mercury.Request) ([]byte, error) {
 // handleStage pulls the staged block from the simulation's memory (bulk
 // RDMA) and hands it to the pipeline.
 func (p *Provider) handleStage(req mercury.Request) ([]byte, error) {
-	var msg stageMsg
-	if err := json.Unmarshal(req.Payload, &msg); err != nil {
-		return nil, err
-	}
-	slot, err := p.slot(msg.Pipeline)
+	pipeline, iteration, meta, bulk, err := decodeStageMsg(req.Payload)
 	if err != nil {
 		return nil, err
 	}
-	st, err := slot.enter(msg.Iteration, "stage")
+	slot, err := p.slot(pipeline)
+	if err != nil {
+		return nil, err
+	}
+	st, err := slot.enter(iteration, "stage")
 	if err != nil {
 		return nil, err
 	}
 	defer st.inflight.Done()
 	reg := p.observer()
-	sp := reg.StartSpan("srv.stage", obs.SpanKey{Pipeline: msg.Pipeline, Iteration: msg.Iteration, Rank: st.rank})
-	bulk, _, err := mercury.DecodeBulk(msg.Bulk)
-	if err != nil {
-		sp.End(err)
-		return nil, err
-	}
-	data, err := p.mi.Class().PullBulk(bulk)
-	if err != nil {
+	sp := reg.StartSpan("srv.stage", obs.SpanKey{Pipeline: pipeline, Iteration: iteration, Rank: st.rank})
+	// Pull the block into a pooled buffer sized from the bulk descriptor and
+	// recycle it once the backend returns: Backend.Stage only borrows the
+	// data for the duration of the call (backends decode into their own
+	// structures), so no alias survives the Put.
+	data := bufpool.Get(int(bulk.Size))
+	if err := p.mi.Class().PullBulkInto(bulk, data); err != nil {
+		bufpool.Put(data)
 		err = fmt.Errorf("colza: pulling staged block: %w", err)
 		sp.End(err)
 		return nil, err
 	}
-	if err := slot.backend.Stage(msg.Iteration, msg.Meta, data); err != nil {
+	err = slot.backend.Stage(iteration, meta, data)
+	n := len(data)
+	bufpool.Put(data)
+	if err != nil {
 		sp.End(err)
 		return nil, err
 	}
-	reg.Counter("colza.staged.bytes", "pipeline", msg.Pipeline).Add(int64(len(data)))
-	reg.Counter("colza.staged.blocks", "pipeline", msg.Pipeline).Inc()
+	reg.Counter("colza.staged.bytes", "pipeline", pipeline).Add(int64(n))
+	reg.Counter("colza.staged.blocks", "pipeline", pipeline).Inc()
 	sp.End(nil)
 	return []byte("ok"), nil
 }

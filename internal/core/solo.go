@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"colza/internal/bufpool"
 	"colza/internal/mercury"
 )
 
@@ -110,8 +111,12 @@ func (h *PipelineHandle) Stage(it uint64, meta BlockMeta, data []byte) error {
 	cls := h.c.mi.Class()
 	bulk := cls.Expose(data)
 	defer cls.Release(bulk)
-	payload, _ := json.Marshal(stageMsg{Pipeline: h.pipeline, Iteration: it, Meta: meta, Bulk: bulk.Encode()})
+	// The stage frame is binary (see stagewire.go) and pooled: CallProvider
+	// is synchronous and the transport copies on send, so the frame can be
+	// recycled as soon as the call returns — even across its retries.
+	payload := appendStageMsg(bufpool.Get(stageMsgSize(h.pipeline, meta, bulk))[:0], h.pipeline, it, meta, bulk)
 	_, err := h.c.mi.CallProvider(h.server, ProviderID, "stage", payload, timeout)
+	bufpool.Put(payload)
 	return err
 }
 

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"colza/internal/mercury"
+)
+
+func TestStageWireRoundTrip(t *testing.T) {
+	meta := BlockMeta{
+		Field:   "density",
+		BlockID: -7,
+		Type:    "imagedata",
+		Dims:    [3]int{32, 16, 8},
+		Origin:  [3]float64{-1, 0.5, 3e9},
+		Spacing: [3]float64{0.1, 0.2, 0.3},
+	}
+	bulk := mercury.Bulk{Addr: "inproc://sim-3", ID: 42, Size: 1 << 20}
+	frame := appendStageMsg(nil, "viz", 9, meta, bulk)
+	if len(frame) != stageMsgSize("viz", meta, bulk) {
+		t.Fatalf("frame length %d, stageMsgSize %d", len(frame), stageMsgSize("viz", meta, bulk))
+	}
+	pipeline, it, gotMeta, gotBulk, err := decodeStageMsg(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipeline != "viz" || it != 9 || gotMeta != meta || gotBulk != bulk {
+		t.Fatalf("round trip: %q %d %+v %+v", pipeline, it, gotMeta, gotBulk)
+	}
+}
+
+func TestAppendStageMsgNoAllocWithCapacity(t *testing.T) {
+	meta := BlockMeta{Field: "v", Type: "raw"}
+	bulk := mercury.Bulk{Addr: "inproc://a", ID: 1, Size: 10}
+	scratch := make([]byte, 0, stageMsgSize("p", meta, bulk))
+	allocs := testing.AllocsPerRun(20, func() {
+		appendStageMsg(scratch, "p", 1, meta, bulk)
+	})
+	if allocs != 0 {
+		t.Fatalf("appendStageMsg into sized buffer allocates %.1f times", allocs)
+	}
+}
+
+func TestDecodeStageMsgMalformed(t *testing.T) {
+	meta := BlockMeta{Field: "v", Type: "raw"}
+	bulk := mercury.Bulk{Addr: "inproc://a", ID: 1, Size: 10}
+	good := appendStageMsg(nil, "p", 1, meta, bulk)
+	// Every truncation must error, never panic.
+	for n := 0; n < len(good); n++ {
+		if _, _, _, _, err := decodeStageMsg(good[:n]); err == nil {
+			t.Fatalf("truncated frame of %d bytes accepted", n)
+		}
+	}
+	// Wrong version byte.
+	bad := append([]byte(nil), good...)
+	bad[0] = 0xFF
+	if _, _, _, _, err := decodeStageMsg(bad); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	// Trailing garbage (bulk length no longer spans the rest).
+	if _, _, _, _, err := decodeStageMsg(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+// FuzzDecodeStageMsg: the stage decoder fronts the only binary RPC on the
+// hot path; arbitrary bytes must never panic, and any frame that decodes
+// must re-encode to exactly itself.
+func FuzzDecodeStageMsg(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{stageWireVersion})
+	f.Add(appendStageMsg(nil, "viz", 1, BlockMeta{Field: "v", Type: "raw"}, mercury.Bulk{Addr: "inproc://a", ID: 3, Size: 7}))
+	f.Add(appendStageMsg(nil, "", 0, BlockMeta{}, mercury.Bulk{}))
+	// A huge claimed string length over a short buffer.
+	f.Add([]byte{stageWireVersion, 0xFF, 0xFF, 0xFF, 0x7F, 'x'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pipeline, it, meta, bulk, err := decodeStageMsg(data)
+		if err != nil {
+			return
+		}
+		re := appendStageMsg(nil, pipeline, it, meta, bulk)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", re, data)
+		}
+	})
+}
+
+// TestDecodeStageMsgBoundedAllocs: malformed frames with huge claimed
+// lengths must not allocate proportionally to the claim.
+func TestDecodeStageMsgBoundedAllocs(t *testing.T) {
+	frame := []byte{stageWireVersion, 0xFF, 0xFF, 0xFF, 0x7F, 'x', 'y'}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, _, _, _, err := decodeStageMsg(frame); err == nil {
+			t.Fatal("malformed frame accepted")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("malformed decode allocates %.1f times", allocs)
+	}
+}

@@ -137,6 +137,11 @@ type ExecResult struct {
 //
 // Lifecycle per iteration: Activate, any number of Stage calls, Execute,
 // Deactivate. Destroy is called when the pipeline is removed.
+//
+// Ownership: the data slice passed to Stage is only valid for the duration
+// of the call — the provider pulls it into a pooled buffer and recycles it
+// as soon as Stage returns. A backend that needs the bytes afterwards must
+// copy them (the built-in pipelines decode into their own structures).
 type Backend interface {
 	Activate(ctx IterationContext) error
 	Stage(iteration uint64, meta BlockMeta, data []byte) error

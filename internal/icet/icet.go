@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 
+	"colza/internal/bufpool"
 	"colza/internal/comm"
 	"colza/internal/render"
 	"colza/internal/vtk"
@@ -97,12 +98,18 @@ func Composite(img *render.Image, c comm.Communicator, strat Strategy, mode Mode
 	}
 }
 
-// treeReduce composites via a binomial reduction over encoded images.
+// treeReduce composites via a binomial reduction over encoded images. The
+// per-fold decode scratch is a pooled image pair reused across all rounds
+// of the reduction; only the encoded accumulator handed back to the
+// collectives layer (which owns it across rounds) is freshly allocated.
 func treeReduce(img *render.Image, c comm.Communicator, mode Mode, root int) (*render.Image, error) {
+	a := render.GetImage(img.W, img.H)
+	b := render.GetImage(img.W, img.H)
+	defer render.PutImage(a)
+	defer render.PutImage(b)
 	op := func(acc, in []byte) []byte {
-		a, err1 := render.DecodeImage(acc)
-		b, err2 := render.DecodeImage(in)
-		if err1 != nil || err2 != nil || a.W != b.W || a.H != b.H {
+		if render.DecodeImageInto(a, acc) != nil || render.DecodeImageInto(b, in) != nil ||
+			a.W != b.W || a.H != b.H {
 			return acc
 		}
 		// In a binomial reduce the incoming image comes from a higher
@@ -166,7 +173,10 @@ type pixelRange struct{ lo, hi int }
 func binarySwap(img *render.Image, c comm.Communicator, mode Mode, root int) (*render.Image, error) {
 	size, rank := c.Size(), c.Rank()
 	w, h := img.W, img.H
-	local := render.NewImage(w, h)
+	// local is pooled working state; it never escapes (the root's result is
+	// assembled into a fresh image below), so it is recycled on every exit.
+	local := render.GetImage(w, h)
+	defer render.PutImage(local)
 	copy(local.RGBA, img.RGBA)
 	copy(local.Depth, img.Depth)
 
@@ -179,7 +189,12 @@ func binarySwap(img *render.Image, c comm.Communicator, mode Mode, root int) (*r
 	}
 	active := rank < p2
 	if rank >= p2 {
-		if err := c.Send(rank-p2, tagBase+1, local.Encode()); err != nil {
+		// Send frames are pooled: comm Send copies, so the frame can be
+		// recycled as soon as it returns.
+		frame := local.AppendEncode(bufpool.Get(local.EncodedSize())[:0])
+		err := c.Send(rank-p2, tagBase+1, frame)
+		bufpool.Put(frame)
+		if err != nil {
 			return nil, err
 		}
 	} else if rank+p2 < size {
@@ -187,11 +202,20 @@ func binarySwap(img *render.Image, c comm.Communicator, mode Mode, root int) (*r
 		if err != nil {
 			return nil, err
 		}
-		other, err := render.DecodeImage(raw)
-		if err != nil {
-			return nil, err
+		// The recv buffer is exclusively ours (senders copy): decode into a
+		// pooled image and recycle both.
+		other := render.GetImage(w, h)
+		derr := render.DecodeImageInto(other, raw)
+		bufpool.Put(raw)
+		if derr != nil || other.W != w || other.H != h {
+			render.PutImage(other)
+			if derr == nil {
+				derr = render.ErrImage
+			}
+			return nil, derr
 		}
 		mergeRanked(local, other, rank, rank+p2, mode, pixelRange{0, w * h})
+		render.PutImage(other)
 	}
 
 	// Swap phase among the first p2 ranks: each round splits the owned
@@ -212,7 +236,7 @@ func binarySwap(img *render.Image, c comm.Communicator, mode Mode, root int) (*r
 				keep, give = upperHalf, lowerHalf
 			}
 			tag := tagBase + 16 + log2(dist)
-			if err := c.Send(peer, tag, encodeRegion(local, give)); err != nil {
+			if err := sendRegion(c, peer, tag, local, give); err != nil {
 				return nil, err
 			}
 			raw, err := c.Recv(peer, tag)
@@ -220,12 +244,15 @@ func binarySwap(img *render.Image, c comm.Communicator, mode Mode, root int) (*r
 				return nil, err
 			}
 			mergeRegionRanked(local, raw, rank, peer, mode, keep)
+			bufpool.Put(raw)
 			rng = keep
 		}
 	}
 
 	// Gather phase: every active rank sends its slice to root.
 	if rank == root {
+		// out is returned to the caller, so it must be a fresh image — never
+		// a pooled one that a later PutImage could recycle under the caller.
 		out := render.NewImage(w, h)
 		for r := 0; r < p2; r++ {
 			rrng := finalRange(r, p2, w*h)
@@ -239,7 +266,9 @@ func binarySwap(img *render.Image, c comm.Communicator, mode Mode, root int) (*r
 				}
 				payload = raw
 			}
-			if err := decodeRegionInto(out, payload, rrng); err != nil {
+			err := decodeRegionInto(out, payload, rrng)
+			bufpool.Put(payload)
+			if err != nil {
 				return nil, err
 			}
 		}
@@ -247,7 +276,7 @@ func binarySwap(img *render.Image, c comm.Communicator, mode Mode, root int) (*r
 	}
 	if active {
 		rrng := finalRange(rank, p2, w*h)
-		if err := c.Send(root, tagBase+2, encodeRegion(local, rrng)); err != nil {
+		if err := sendRegion(c, root, tagBase+2, local, rrng); err != nil {
 			return nil, err
 		}
 	}
@@ -258,13 +287,15 @@ func binarySwap(img *render.Image, c comm.Communicator, mode Mode, root int) (*r
 // rank order for ordered mode (lower rank is in front).
 func mergeRanked(local, other *render.Image, myRank, otherRank int, mode Mode, rng pixelRange) {
 	if mode == Ordered && otherRank < myRank {
-		// The other image is in front: blend other over local.
-		tmp := render.NewImage(local.W, local.H)
+		// The other image is in front: blend other over local, via pooled
+		// scratch (recycled before return, never aliased past it).
+		tmp := render.GetImage(local.W, local.H)
 		copy(tmp.RGBA, other.RGBA)
 		copy(tmp.Depth, other.Depth)
 		mergeRange(tmp, local, mode, rng)
 		copy(local.RGBA, tmp.RGBA)
 		copy(local.Depth, tmp.Depth)
+		render.PutImage(tmp)
 		return
 	}
 	mergeRange(local, other, mode, rng)
@@ -305,7 +336,8 @@ func mergeRange(dst, src *render.Image, mode Mode, rng pixelRange) {
 
 // mergeRegionRanked merges an encoded region payload into local.
 func mergeRegionRanked(local *render.Image, raw []byte, myRank, otherRank int, mode Mode, rng pixelRange) {
-	other := render.NewImage(local.W, local.H)
+	other := render.GetImage(local.W, local.H)
+	defer render.PutImage(other)
 	if decodeRegionInto(other, raw, rng) != nil {
 		return
 	}
@@ -328,10 +360,21 @@ func finalRange(r, p2, total int) pixelRange {
 	return pixelRange{lo, hi}
 }
 
-// encodeRegion serializes a pixel range: RGBA then depth.
+// sendRegion encodes a pixel range into a pooled frame, sends it, and
+// recycles the frame (comm implementations copy on Send).
+func sendRegion(c comm.Communicator, dst, tag int, im *render.Image, rng pixelRange) error {
+	frame := encodeRegion(im, rng)
+	err := c.Send(dst, tag, frame)
+	bufpool.Put(frame)
+	return err
+}
+
+// encodeRegion serializes a pixel range: RGBA then depth. The buffer comes
+// from bufpool; callers done with it before losing the reference should
+// bufpool.Put it.
 func encodeRegion(im *render.Image, rng pixelRange) []byte {
 	n := rng.hi - rng.lo
-	buf := make([]byte, 8+8*n)
+	buf := bufpool.Get(8 + 8*n)
 	binary.LittleEndian.PutUint32(buf, uint32(rng.lo))
 	binary.LittleEndian.PutUint32(buf[4:], uint32(n))
 	copy(buf[8:], im.RGBA[4*rng.lo:4*rng.hi])

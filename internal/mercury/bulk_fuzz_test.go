@@ -1,0 +1,60 @@
+package mercury
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecodeBulk mirrors the vtk legacy-parse fuzz pattern: arbitrary input
+// must either decode into a handle that re-encodes to exactly the consumed
+// prefix, or error — and malformed length fields must never drive
+// allocations proportional to the lie they tell.
+func FuzzDecodeBulk(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Bulk{Addr: "inproc://a", ID: 7, Size: 1024}.Encode())
+	f.Add(Bulk{Addr: "", ID: 0, Size: 0}.Encode())
+	// Truncated frame: claims a longer address than present.
+	trunc := Bulk{Addr: "abcdefgh", ID: 1, Size: 8}.Encode()
+	f.Add(trunc[:len(trunc)-3])
+	// Negative size.
+	neg := Bulk{Addr: "x", ID: 2, Size: 4}.Encode()
+	binary.LittleEndian.PutUint64(neg[8:], ^uint64(0))
+	f.Add(neg)
+	// Address length claiming almost 4 GiB on a 24-byte frame.
+	huge := Bulk{Addr: "abcd", ID: 3, Size: 16}.Encode()
+	binary.LittleEndian.PutUint32(huge[16:], 1<<31)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, rest, err := DecodeBulk(data)
+		if err != nil {
+			return
+		}
+		if b.Size < 0 {
+			t.Fatalf("decoded negative size %d", b.Size)
+		}
+		if len(rest) > len(data) {
+			t.Fatalf("rest grew: %d > %d", len(rest), len(data))
+		}
+		enc := b.Encode()
+		if !bytes.Equal(enc, data[:len(data)-len(rest)]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", enc, data[:len(data)-len(rest)])
+		}
+	})
+}
+
+// TestDecodeBulkBoundedAllocs: a malformed frame whose length fields claim
+// gigabytes must be rejected without allocating for them.
+func TestDecodeBulkBoundedAllocs(t *testing.T) {
+	frame := Bulk{Addr: "abcd", ID: 3, Size: 16}.Encode()
+	binary.LittleEndian.PutUint32(frame[16:], 1<<31) // 2 GiB address claim
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := DecodeBulk(frame); err == nil {
+			t.Fatal("malformed frame decoded")
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("malformed decode allocates %.1f times", allocs)
+	}
+}

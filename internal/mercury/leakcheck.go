@@ -1,0 +1,28 @@
+package mercury
+
+// TB is the subset of testing.TB the leak checker needs; taking the
+// interface keeps the testing package out of the production build.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...interface{})
+}
+
+// VerifyNoExposedLeaks fails the test if any of the classes still holds
+// exposed bulk registrations. Every Expose on the data path must be matched
+// by a Release before shutdown — a nonzero balance means either a leaked
+// registration (memory pinned forever) or a buffer recycled while a late
+// puller could still read it. Call it via defer at test setup, after the
+// defers that stop traffic:
+//
+//	defer mercury.VerifyNoExposedLeaks(t, cls)
+func VerifyNoExposedLeaks(t TB, classes ...*Class) {
+	t.Helper()
+	for _, c := range classes {
+		if c == nil {
+			continue
+		}
+		if n := c.ExposedBytes(); n != 0 {
+			t.Errorf("mercury: class %s ends with %d exposed bulk bytes (leaked Expose without Release)", c.Addr(), n)
+		}
+	}
+}

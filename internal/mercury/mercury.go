@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"colza/internal/bufpool"
 	"colza/internal/na"
 	"colza/internal/obs"
 )
@@ -92,7 +93,15 @@ type Class struct {
 	nextID atomic.Uint64
 	nextBk atomic.Uint64
 
+	// chunk overrides bulkChunk when nonzero (SetBulkChunk).
+	chunk atomic.Int64
+
 	obsReg atomic.Pointer[obs.Registry]
+	// Cached instrument handles: labeled registry lookups allocate, so the
+	// call/serve/bulk hot paths resolve instruments once per rpc name.
+	callM  metricsCache
+	serveM metricsCache
+	bulkM  bulkMetricsCache
 
 	wg sync.WaitGroup
 }
@@ -172,15 +181,16 @@ func (c *Class) Call(to, name string, payload []byte, timeout time.Duration) (re
 		timeout = DefaultTimeout
 	}
 	reg := c.observer()
-	reg.Counter("mercury.call.count", "rpc", name).Inc()
-	reg.Counter("mercury.call.bytes.out", "rpc", name).Add(int64(len(payload)))
+	m := c.callM.call(reg, name)
+	m.count.Inc()
+	m.bytesOut.Add(int64(len(payload)))
 	start := reg.Now()
 	defer func() {
-		reg.Histogram("mercury.call.latency", "rpc", name).Observe(int64(reg.Now() - start))
+		m.latency.Observe(int64(reg.Now() - start))
 		if err != nil {
-			reg.Counter("mercury.call.errors", "rpc", name).Inc()
+			m.errors.Inc()
 		} else {
-			reg.Counter("mercury.call.bytes.in", "rpc", name).Add(int64(len(resp)))
+			m.bytesIn.Add(int64(len(resp)))
 		}
 	}()
 	c.mu.RLock()
@@ -202,12 +212,17 @@ func (c *Class) Call(to, name string, payload []byte, timeout time.Duration) (re
 		c.pmu.Unlock()
 	}()
 
+	// The request frame is pooled: na endpoints are done with the slice when
+	// Send returns (inproc copies, tcp writes synchronously), so it can be
+	// recycled immediately.
 	frame := encodeRequest(id, name, payload)
-	if err := c.ep.Send(to, frame); err != nil {
-		return nil, fmt.Errorf("mercury: send to %s: %w", to, err)
+	sendErr := c.ep.Send(to, frame)
+	bufpool.Put(frame)
+	if sendErr != nil {
+		return nil, fmt.Errorf("mercury: send to %s: %w", to, sendErr)
 	}
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
+	timer := getTimer(timeout)
+	defer putTimer(timer)
 	select {
 	case r := <-ch:
 		switch r.status {
@@ -264,8 +279,9 @@ func (c *Class) progress() {
 
 func (c *Class) serve(from string, id uint64, name string, payload []byte, h Handler) {
 	reg := c.observer()
-	reg.Counter("mercury.serve.count", "rpc", name).Inc()
-	reg.Counter("mercury.serve.bytes.in", "rpc", name).Add(int64(len(payload)))
+	m := c.serveM.serve(reg, name)
+	m.count.Inc()
+	m.bytesIn.Add(int64(len(payload)))
 	start := reg.Now()
 	var status byte
 	var out []byte
@@ -291,18 +307,19 @@ func (c *Class) serve(from string, id uint64, name string, payload []byte, h Han
 			out = res
 		}
 	}
-	reg.Histogram("mercury.serve.latency", "rpc", name).Observe(int64(reg.Now() - start))
+	m.latency.Observe(int64(reg.Now() - start))
 	if status != 0 {
-		reg.Counter("mercury.serve.errors", "rpc", name).Inc()
+		m.errors.Inc()
 	}
-	frame := make([]byte, 0, 10+len(out))
-	frame = append(frame, kindResponse)
-	var idb [8]byte
-	binary.LittleEndian.PutUint64(idb[:], id)
-	frame = append(frame, idb[:]...)
-	frame = append(frame, status)
-	frame = append(frame, out...)
+	// Response frames are pooled like request frames: Send is done with the
+	// slice when it returns.
+	frame := bufpool.Get(10 + len(out))
+	frame[0] = kindResponse
+	binary.LittleEndian.PutUint64(frame[1:], id)
+	frame[9] = status
+	copy(frame[10:], out)
 	_ = c.ep.Send(from, frame)
+	bufpool.Put(frame)
 }
 
 // Close finalizes the class: the endpoint is closed and the progress loop
@@ -320,17 +337,15 @@ func (c *Class) Close() error {
 	return err
 }
 
+// encodeRequest builds a request frame in a pooled buffer; the caller must
+// bufpool.Put it once the transport is done with it.
 func encodeRequest(id uint64, name string, payload []byte) []byte {
-	frame := make([]byte, 0, 13+len(name)+len(payload))
-	frame = append(frame, kindRequest)
-	var idb [8]byte
-	binary.LittleEndian.PutUint64(idb[:], id)
-	frame = append(frame, idb[:]...)
-	var nl [4]byte
-	binary.LittleEndian.PutUint32(nl[:], uint32(len(name)))
-	frame = append(frame, nl[:]...)
-	frame = append(frame, name...)
-	frame = append(frame, payload...)
+	frame := bufpool.Get(13 + len(name) + len(payload))
+	frame[0] = kindRequest
+	binary.LittleEndian.PutUint64(frame[1:], id)
+	binary.LittleEndian.PutUint32(frame[9:], uint32(len(name)))
+	copy(frame[13:], name)
+	copy(frame[13+len(name):], payload)
 	return frame
 }
 
@@ -355,4 +370,31 @@ func RPCNameOf(frame []byte) (name string, ok bool) {
 	}
 	name, _, ok = splitRequest(frame[9:])
 	return name, ok
+}
+
+// timerPool recycles call-timeout timers: every RPC needs one, and a fresh
+// time.NewTimer costs two allocations. Timers are returned stopped and
+// drained, so Reset on reuse is race-free (single-goroutine ownership
+// between getTimer and putTimer).
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if v := timerPool.Get(); v != nil {
+		t := v.(*time.Timer)
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		// Fired (and possibly already received from): make sure C is empty
+		// before the timer is reused.
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
 }

@@ -24,6 +24,8 @@ import (
 	"sort"
 	"sync"
 
+	"colza/internal/bufpool"
+
 	"colza/internal/collectives"
 	"colza/internal/comm"
 	"colza/internal/na"
@@ -56,8 +58,7 @@ type Instance struct {
 	orphans map[uint64][]comm.Msg
 	closed  bool
 
-	bufPool sync.Pool
-	done    chan struct{}
+	done chan struct{}
 }
 
 // NewInstance starts a progress loop on ep.
@@ -68,7 +69,6 @@ func NewInstance(ep na.Endpoint) *Instance {
 		orphans: make(map[uint64][]comm.Msg),
 		done:    make(chan struct{}),
 	}
-	i.bufPool.New = func() interface{} { return make([]byte, 0, 4096) }
 	go i.progress()
 	return i
 }
@@ -211,19 +211,20 @@ func (c *Comm) Addrs() []string { return append([]string(nil), c.addrs...) }
 func (c *Comm) SetAlgorithm(a collectives.Algorithm) { c.algo = a }
 
 // Send transmits data to rank dst with the given tag. It completes locally
-// (buffered at the receiver).
+// (buffered at the receiver). The wire frame is built in a size-classed
+// pooled buffer and recycled as soon as the endpoint is done with it (na
+// Send does not retain the slice past return).
 func (c *Comm) Send(dst, tag int, data []byte) error {
 	if dst < 0 || dst >= len(c.addrs) {
 		return fmt.Errorf("%w: %d of %d", ErrRank, dst, len(c.addrs))
 	}
-	buf := c.inst.bufPool.Get().([]byte)[:0]
-	buf = append(buf, make([]byte, headerLen)...)
+	buf := bufpool.Get(headerLen + len(data))
 	binary.LittleEndian.PutUint64(buf, c.id)
 	binary.LittleEndian.PutUint32(buf[8:], uint32(int32(c.rank)))
 	binary.LittleEndian.PutUint32(buf[12:], uint32(int32(tag)))
-	buf = append(buf, data...)
+	copy(buf[headerLen:], data)
 	err := c.inst.ep.Send(c.addrs[dst], buf)
-	c.inst.bufPool.Put(buf[:0])
+	bufpool.Put(buf)
 	return err
 }
 

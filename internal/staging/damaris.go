@@ -184,7 +184,11 @@ func (d *Damaris) Shutdown() {
 }
 
 // Write stages one block with this client's dedicated server (the
-// shared-memory write in real Damaris).
+// shared-memory write in real Damaris). The path is zero-copy by
+// construction: the *vtk.ImageData pointer itself is staged, with no
+// serialization or buffering, so there is nothing for a pool to recycle —
+// but the caller must treat the block as transferred and not mutate it
+// after Write returns.
 func (c *DamarisClient) Write(iteration uint64, img *vtk.ImageData) {
 	s := c.srv
 	s.mu.Lock()

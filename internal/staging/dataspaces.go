@@ -1,12 +1,12 @@
 package staging
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"colza/internal/bufpool"
 	"colza/internal/catalyst"
 	"colza/internal/margo"
 	"colza/internal/mercury"
@@ -106,15 +106,14 @@ func (ds *DataSpaces) Addrs() []string {
 }
 
 func (s *dsServer) handlePut(req mercury.Request) ([]byte, error) {
-	// Payload: 8-byte iteration, 4-byte block id, then the encoded block
-	// (data was pulled via bulk by the caller-side helper; here it arrives
-	// inline for simplicity of the baseline).
-	if len(req.Payload) < 12 {
-		return nil, fmt.Errorf("dataspaces: short put")
+	// Payload: the 12-byte put header (iteration + block id), then the
+	// encoded block (data was pulled via bulk by the caller-side helper;
+	// here it arrives inline for simplicity of the baseline).
+	iter, blockID, body, err := DecodePutHeader(req.Payload)
+	if err != nil {
+		return nil, err
 	}
-	iter := binary.LittleEndian.Uint64(req.Payload)
-	blockID := int(int32(binary.LittleEndian.Uint32(req.Payload[8:])))
-	img, err := vtk.DecodeImageData(req.Payload[12:])
+	img, err := vtk.DecodeImageData(body)
 	if err != nil {
 		return nil, err
 	}
@@ -135,20 +134,22 @@ func (s *dsServer) handlePut(req mercury.Request) ([]byte, error) {
 	s.staged[iter] = append(s.staged[iter], img)
 	s.mu.Unlock()
 	reg.Counter("staging.put.blocks").Inc()
-	reg.Counter("staging.put.bytes").Add(int64(len(req.Payload) - 12))
+	reg.Counter("staging.put.bytes").Add(int64(len(req.Payload) - PutHeaderLen))
 	return []byte("ok"), nil
 }
 
 // Put stages a block with server blockID % Servers through the client's
-// Margo instance.
+// Margo instance. The wire frame (header + encoded block) is assembled in
+// a single pooled buffer sized by EncodedSize and recycled once the call
+// returns: CallProvider has fully serialized (and the transport copied)
+// the payload by then, so nothing aliases it afterwards.
 func (ds *DataSpaces) Put(client *margo.Instance, iteration uint64, blockID int, img *vtk.ImageData) error {
-	target := ds.Addrs()[blockID%ds.cfg.Servers]
-	enc := img.Encode()
-	payload := make([]byte, 12+len(enc))
-	binary.LittleEndian.PutUint64(payload, iteration)
-	binary.LittleEndian.PutUint32(payload[8:], uint32(int32(blockID)))
-	copy(payload[12:], enc)
+	target := ds.mis[blockID%ds.cfg.Servers].Addr()
+	payload := bufpool.Get(PutHeaderLen + img.EncodedSize())[:0]
+	payload = AppendPutHeader(payload, iteration, blockID)
+	payload = img.AppendEncode(payload)
 	_, err := client.CallProvider(target, "dspaces", "put", payload, 30*time.Second)
+	bufpool.Put(payload)
 	return err
 }
 

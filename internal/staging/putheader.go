@@ -1,0 +1,36 @@
+package staging
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// PutHeaderLen is the fixed size of the staging put header: an 8-byte
+// little-endian iteration followed by a 4-byte little-endian block id.
+const PutHeaderLen = 12
+
+// ErrShortPut reports a put frame too short to carry the header.
+var ErrShortPut = errors.New("staging: short put")
+
+// AppendPutHeader appends the 12-byte put header to dst and returns the
+// extended slice. With PutHeaderLen of spare capacity it does not allocate,
+// which lets Put assemble header and body in one pooled buffer.
+func AppendPutHeader(dst []byte, iteration uint64, blockID int) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, PutHeaderLen)...)
+	binary.LittleEndian.PutUint64(dst[off:], iteration)
+	binary.LittleEndian.PutUint32(dst[off+8:], uint32(int32(blockID)))
+	return dst
+}
+
+// DecodePutHeader splits a put payload into its header fields and the
+// encoded block that follows. It only reads the fixed-size prefix, so a
+// malformed frame costs no allocation beyond the error already made.
+func DecodePutHeader(p []byte) (iteration uint64, blockID int, rest []byte, err error) {
+	if len(p) < PutHeaderLen {
+		return 0, 0, nil, ErrShortPut
+	}
+	iteration = binary.LittleEndian.Uint64(p)
+	blockID = int(int32(binary.LittleEndian.Uint32(p[8:])))
+	return iteration, blockID, p[PutHeaderLen:], nil
+}

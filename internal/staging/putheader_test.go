@@ -1,0 +1,93 @@
+package staging
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestPutHeaderRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		iter  uint64
+		block int
+	}{
+		{0, 0},
+		{1, 7},
+		{1<<63 + 5, 1<<31 - 1},
+		{42, -3}, // negative ids survive the int32 wire encoding
+	} {
+		frame := AppendPutHeader(nil, tc.iter, tc.block)
+		frame = append(frame, "body"...)
+		iter, block, rest, err := DecodePutHeader(frame)
+		if err != nil {
+			t.Fatalf("decode(%d,%d): %v", tc.iter, tc.block, err)
+		}
+		if iter != tc.iter || block != tc.block || !bytes.Equal(rest, []byte("body")) {
+			t.Fatalf("round trip (%d,%d) -> (%d,%d,%q)", tc.iter, tc.block, iter, block, rest)
+		}
+	}
+}
+
+func TestDecodePutHeaderShort(t *testing.T) {
+	for n := 0; n < PutHeaderLen; n++ {
+		if _, _, _, err := DecodePutHeader(make([]byte, n)); !errors.Is(err, ErrShortPut) {
+			t.Fatalf("len=%d: err = %v, want ErrShortPut", n, err)
+		}
+	}
+}
+
+func TestAppendPutHeaderNoAllocWithCapacity(t *testing.T) {
+	scratch := make([]byte, 0, PutHeaderLen)
+	allocs := testing.AllocsPerRun(20, func() {
+		AppendPutHeader(scratch, 9, 4)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendPutHeader into sized buffer allocates %.1f times", allocs)
+	}
+}
+
+// FuzzDecodePutHeader: decoding arbitrary bytes must never panic, and on
+// success must re-encode to the same prefix. Mirrors the vtk legacy-parse
+// fuzz pattern: the decoder is the trust boundary for staged frames.
+func FuzzDecodePutHeader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, PutHeaderLen-1))
+	f.Add(AppendPutHeader(nil, 0, 0))
+	f.Add(append(AppendPutHeader(nil, 1<<40, -1), 0xFF, 0x01))
+	seed := make([]byte, PutHeaderLen)
+	binary.LittleEndian.PutUint64(seed, ^uint64(0))
+	binary.LittleEndian.PutUint32(seed[8:], ^uint32(0))
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		iter, block, rest, err := DecodePutHeader(data)
+		if err != nil {
+			if !errors.Is(err, ErrShortPut) || len(data) >= PutHeaderLen {
+				t.Fatalf("unexpected error %v for len=%d", err, len(data))
+			}
+			return
+		}
+		if len(rest) != len(data)-PutHeaderLen {
+			t.Fatalf("rest length %d, want %d", len(rest), len(data)-PutHeaderLen)
+		}
+		re := AppendPutHeader(nil, iter, block)
+		if !bytes.Equal(re, data[:PutHeaderLen]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", re, data[:PutHeaderLen])
+		}
+	})
+}
+
+// TestDecodePutHeaderBoundedAllocs: a malformed frame must not cost
+// allocations proportional to any claimed length — the decoder reads only
+// the fixed prefix.
+func TestDecodePutHeaderBoundedAllocs(t *testing.T) {
+	short := make([]byte, PutHeaderLen-1)
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, _, _, err := DecodePutHeader(short); err == nil {
+			t.Fatal("short frame accepted")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("malformed decode allocates %.1f times", allocs)
+	}
+}

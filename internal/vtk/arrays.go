@@ -56,6 +56,23 @@ func (a *DataArray) Range() (float32, float32) {
 	return lo, hi
 }
 
+// EncodedSize returns the exact number of bytes encodeArray appends, so
+// staging paths can encode into a single exactly-sized (often pooled)
+// buffer instead of growing through appends.
+func (a *DataArray) EncodedSize() int {
+	return 12 + len(a.Name) + 4*len(a.Data)
+}
+
+// arraysEncodedSize is the exact size of encodeArrays' output, including
+// the leading count.
+func arraysEncodedSize(arrays []*DataArray) int {
+	n := 4
+	for _, a := range arrays {
+		n += a.EncodedSize()
+	}
+	return n
+}
+
 // encodeArray serializes a DataArray.
 func encodeArray(buf []byte, a *DataArray) []byte {
 	var tmp [4]byte

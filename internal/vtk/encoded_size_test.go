@@ -1,0 +1,86 @@
+package vtk
+
+import "testing"
+
+// TestEncodedSizeExact: EncodedSize must equal len(Encode()) bit for bit —
+// staging sizes pooled buffers from it, so an off-by-anything either wastes
+// a size class or forces a growth realloc on the hot path.
+func TestEncodedSizeExact(t *testing.T) {
+	img := NewImageData([3]int{5, 4, 3}, [3]float64{1, 2, 3}, [3]float64{0.5, 1, 2})
+	a := img.AddPointArray("density", 1)
+	for i := range a.Data {
+		a.Data[i] = float32(i)
+	}
+	img.AddPointArray("velocity", 3)
+	if got, want := len(img.Encode()), img.EncodedSize(); got != want {
+		t.Fatalf("ImageData: len(Encode) = %d, EncodedSize = %d", got, want)
+	}
+
+	g := NewUnstructuredGrid()
+	p0 := g.AddPoint(0, 0, 0)
+	p1 := g.AddPoint(1, 0, 0)
+	p2 := g.AddPoint(0, 1, 0)
+	p3 := g.AddPoint(0, 0, 1)
+	g.AddCell(CellTetra, p0, p1, p2, p3)
+	g.AddCell(CellTriangle, p0, p1, p2)
+	ca := g.AddCellArray("pressure", 1)
+	for i := range ca.Data {
+		ca.Data[i] = float32(i) * 2
+	}
+	g.PointData = append(g.PointData, NewDataArray("temp", 1, g.NumPoints()))
+	if got, want := len(g.Encode()), g.EncodedSize(); got != want {
+		t.Fatalf("UnstructuredGrid: len(Encode) = %d, EncodedSize = %d", got, want)
+	}
+
+	// Empty datasets.
+	if got, want := len(NewImageData([3]int{1, 1, 1}, [3]float64{}, [3]float64{}).Encode()),
+		NewImageData([3]int{1, 1, 1}, [3]float64{}, [3]float64{}).EncodedSize(); got != want {
+		t.Fatalf("empty ImageData: %d vs %d", got, want)
+	}
+	if got, want := len(NewUnstructuredGrid().Encode()), NewUnstructuredGrid().EncodedSize(); got != want {
+		t.Fatalf("empty UnstructuredGrid: %d vs %d", got, want)
+	}
+}
+
+// TestAppendEncodeNoAlloc: encoding into a buffer with enough spare
+// capacity must not allocate.
+func TestAppendEncodeNoAlloc(t *testing.T) {
+	img := NewImageData([3]int{16, 16, 16}, [3]float64{}, [3]float64{1, 1, 1})
+	a := img.AddPointArray("v", 1)
+	for i := range a.Data {
+		a.Data[i] = float32(i % 11)
+	}
+	scratch := make([]byte, 0, img.EncodedSize())
+	allocs := testing.AllocsPerRun(20, func() {
+		out := img.AppendEncode(scratch)
+		if len(out) != img.EncodedSize() {
+			t.Fatal("size mismatch")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendEncode into sized buffer allocates %.1f times", allocs)
+	}
+}
+
+// TestAppendEncodeRoundTrip: encoding through AppendEncode decodes back to
+// the same dataset as through Encode.
+func TestAppendEncodeRoundTrip(t *testing.T) {
+	img := NewImageData([3]int{3, 3, 2}, [3]float64{9, 8, 7}, [3]float64{1, 2, 4})
+	a := img.AddPointArray("f", 2)
+	for i := range a.Data {
+		a.Data[i] = float32(i) - 7.5
+	}
+	enc := img.AppendEncode(nil)
+	got, err := DecodeImageData(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dims != img.Dims || len(got.PointData) != 1 || got.PointData[0].Name != "f" {
+		t.Fatalf("round trip lost structure: %+v", got)
+	}
+	for i, v := range got.PointData[0].Data {
+		if v != a.Data[i] {
+			t.Fatalf("data[%d] = %v, want %v", i, v, a.Data[i])
+		}
+	}
+}

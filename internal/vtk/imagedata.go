@@ -66,9 +66,22 @@ func (img *ImageData) PointArray(name string) (*DataArray, error) {
 	return findArray(img.PointData, name)
 }
 
+// EncodedSize returns the exact length of Encode's output: 12 bytes of
+// dims, 24+24 of origin/spacing, then the point arrays.
+func (img *ImageData) EncodedSize() int {
+	return 60 + arraysEncodedSize(img.PointData)
+}
+
 // Encode serializes the grid for staging.
 func (img *ImageData) Encode() []byte {
-	buf := make([]byte, 0, 64+4*len(img.PointData)*len(img.PointData))
+	return img.AppendEncode(make([]byte, 0, img.EncodedSize()))
+}
+
+// AppendEncode appends the serialized grid to buf and returns the extended
+// slice. With cap(buf)-len(buf) >= EncodedSize() — e.g. a pooled scratch
+// buffer — it performs no allocation, which is how staging puts reuse
+// transfer buffers across iterations.
+func (img *ImageData) AppendEncode(buf []byte) []byte {
 	var tmp [8]byte
 	for k := 0; k < 3; k++ {
 		binary.LittleEndian.PutUint32(tmp[:4], uint32(img.Dims[k]))

@@ -103,10 +103,22 @@ func (g *UnstructuredGrid) PointArray(name string) (*DataArray, error) {
 	return findArray(g.PointData, name)
 }
 
+// EncodedSize returns the exact length of Encode's output.
+func (g *UnstructuredGrid) EncodedSize() int {
+	return 12 + 4*len(g.Points) + len(g.CellTypes) + 4*len(g.Conn) +
+		arraysEncodedSize(g.PointData) + arraysEncodedSize(g.CellData)
+}
+
 // Encode serializes the grid for staging (the VTU-file analog).
 func (g *UnstructuredGrid) Encode() []byte {
+	return g.AppendEncode(make([]byte, 0, g.EncodedSize()))
+}
+
+// AppendEncode appends the serialized grid to buf; with enough spare
+// capacity (EncodedSize) it does not allocate, letting staging puts encode
+// into pooled scratch.
+func (g *UnstructuredGrid) AppendEncode(buf []byte) []byte {
 	var tmp [4]byte
-	buf := make([]byte, 0, 16+4*len(g.Points)+len(g.CellTypes)+4*len(g.Conn))
 	binary.LittleEndian.PutUint32(tmp[:], uint32(len(g.Points)))
 	buf = append(buf, tmp[:]...)
 	for _, v := range g.Points {
