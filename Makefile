@@ -34,7 +34,7 @@ fuzz:
 # build (the ceilings exclude race-instrumentation overhead). See
 # internal/bench/micro.go and BENCH_3.json.
 bench-smoke:
-	$(GO) test -race -run NONE -bench 'BenchmarkStagePut|BenchmarkBulkPull|BenchmarkCompositePooled' -benchtime=1x ./internal/bench/
+	$(GO) test -race -run NONE -bench 'BenchmarkStagePut|BenchmarkBulkPull|BenchmarkCompositePooled|BenchmarkStageSaturation' -benchtime=1x ./internal/bench/
 	$(GO) test -count=1 -run 'AllocsCeiling' ./internal/bench/
 
 # Focused run of the chaos/fault-injection suites.

@@ -34,4 +34,8 @@ go test -race -timeout 600s ./...
 # Allocs/op gate: the pooled stage/pull/composite hot paths must stay under
 # the ceilings locked in by internal/bench/micro_test.go (see BENCH_3.json).
 go test -count=1 -run 'AllocsCeiling' ./internal/bench/
+# Goroutine-leak gate: endpoint teardown must reap accepted conns and their
+# readLoops, and the overload e2e asserts the server's goroutine envelope
+# stays bounded (pools, not O(clients)) and drains back to baseline.
+go test -count=1 -timeout 120s -run 'TestTCPCloseReapsAcceptedConns|TestOverloadShedsAndRecovers' ./internal/na/ ./internal/e2e/
 check_cover

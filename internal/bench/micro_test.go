@@ -14,6 +14,9 @@ func BenchmarkStagePut(b *testing.B)        { BenchStagePut(b) }
 func BenchmarkBulkPull(b *testing.B)        { BenchBulkPull(b) }
 func BenchmarkCompositePooled(b *testing.B) { BenchCompositePooled(b) }
 
+// Overload path: tiny stage pool vs parallel stagers (see saturation.go).
+func BenchmarkStageSaturation(b *testing.B) { BenchStageSaturation(b) }
+
 // Allocs/op ceilings locked in by this change. The pre-change baselines
 // (Baseline*Allocs in micro.go) were measured at the seed; these ceilings
 // hold the pooled hot paths at their new level with a little headroom for

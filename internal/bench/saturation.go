@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"colza/internal/core"
+	"colza/internal/margo"
+	"colza/internal/na"
+	"colza/internal/obs"
+)
+
+// BenchStageSaturation hammers a deliberately tiny stage pool (2 workers,
+// 4-deep queue) with 8x-parallel staging clients, measuring the overload
+// path end to end: admission shedding, busy responses on the wire, and the
+// client's hint-driven retry loop. Reported extras: sheds/op (server-side
+// admission rejections) and busyretries/op (client-side busy responses
+// absorbed) — the two must track each other; a divergence means shed
+// responses are getting lost instead of retried.
+func BenchStageSaturation(b *testing.B) {
+	net := na.NewInprocNetwork()
+	s, err := core.StartInprocServer(net, "sat-srv", core.ServerConfig{
+		Pools: core.PoolsConfig{
+			Control: core.DefaultControlPool(),
+			Data:    margo.PoolConfig{Workers: 2, Queue: 4, BusyHint: 200 * time.Microsecond},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Shutdown()
+
+	cEP, err := net.Listen("sat-cli")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mi := margo.NewInstance(cEP)
+	defer mi.Finalize()
+	client := core.NewClient(mi)
+	reg := obs.NewRegistry()
+	client.SetObserver(reg)
+	admin := core.NewAdminClient(mi)
+	if err := admin.CreatePipeline(s.Addr(), "sat", "bench/sink", nil); err != nil {
+		b.Fatal(err)
+	}
+	h := client.Handle("sat", s.Addr())
+	h.SetStageRetry(core.RetryPolicy{Max: 100, Base: 200 * time.Microsecond, Cap: 5 * time.Millisecond, Jitter: 1})
+	if _, err := h.Activate(1); err != nil {
+		b.Fatal(err)
+	}
+
+	payload := make([]byte, 64<<10)
+	var blockID atomic.Int64
+	b.SetParallelism(8) // 8*GOMAXPROCS stagers vs 2 workers: guaranteed contention
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			meta := core.BlockMeta{Field: "v", BlockID: int(blockID.Add(1)), Type: "raw"}
+			if err := h.Stage(1, meta, payload); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+
+	sheds := s.Obs.Snapshot().Counters["margo.pool.shed{pool="+core.DataPoolName+"}"]
+	busy := reg.Counter("core.client.retries.busy", "rpc", "stage").Value()
+	b.ReportMetric(float64(sheds)/float64(b.N), "sheds/op")
+	b.ReportMetric(float64(busy)/float64(b.N), "busyretries/op")
+	if err := h.Deactivate(1); err != nil {
+		b.Fatal(err)
+	}
+}

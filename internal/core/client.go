@@ -62,19 +62,61 @@ func (c *Client) observer() *obs.Registry {
 	return obs.Default()
 }
 
+// clientBusyRetries bounds the client's built-in busy retry loop: a busy
+// response means the request was shed before executing, so reissuing is
+// always safe; the loop honors the server's Retry-After hint. Operations
+// with their own retry policies (Stage, activate rounds) still see busy as
+// retryable if this inner loop exhausts.
+const clientBusyRetries = 8
+
 // call invokes a colza RPC and maintains the info cache: any failure at the
 // transport level (timeout, unreachable) means what we know about that
 // server may be stale, so its cached address mapping is evicted. Remote
-// errors leave the cache alone — the server answered, it is alive.
+// errors leave the cache alone — the server answered, it is alive. Busy
+// responses (admission shedding) are retried in place under the server's
+// backoff hint; they never evict, the server is alive and just loaded.
 func (c *Client) call(addr, rpc string, payload []byte, timeout time.Duration) ([]byte, error) {
-	out, err := c.mi.CallProvider(addr, ProviderID, rpc, payload, timeout)
-	if cls := Classify(err); cls != ClassOK {
+	for attempt := 0; ; attempt++ {
+		out, err := c.mi.CallProvider(addr, ProviderID, rpc, payload, timeout)
+		cls := Classify(err)
+		if cls == ClassOK {
+			return out, nil
+		}
 		c.observer().Counter("colza.call.errors", "rpc", rpc, "class", cls.String()).Inc()
+		if cls == ClassBusy {
+			// One increment per busy response received keeps this counter
+			// balanced against the servers' margo.pool.shed.
+			c.observer().Counter("core.client.retries.busy", "rpc", rpc).Inc()
+			if attempt < clientBusyRetries {
+				time.Sleep(busyBackoff(err, attempt))
+				continue
+			}
+			return out, err
+		}
 		if cls != ClassRemote {
 			c.evictInfo(addr)
 		}
+		return out, err
 	}
-	return out, err
+}
+
+// busyBackoff turns the server's Retry-After hint into the sleep before the
+// next attempt: the hint (1ms when absent), doubled per consecutive busy
+// response, capped, plus up to 100% jitter so retries from many ranks
+// decorrelate instead of re-arriving as the next synchronized burst.
+func busyBackoff(err error, attempt int) time.Duration {
+	const ceiling = 100 * time.Millisecond
+	d := BusyRetryAfter(err)
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	for i := 0; i < attempt && d < ceiling; i++ {
+		d *= 2
+	}
+	if d > ceiling {
+		d = ceiling
+	}
+	return d + time.Duration(rand.Int63n(int64(d)+1))
 }
 
 // evictInfo drops the cached address mapping for one server.
@@ -505,7 +547,13 @@ func (h *DistributedPipelineHandle) Stage(it uint64, meta BlockMeta, data []byte
 	for attempt := 0; attempt < retry.attempts(); attempt++ {
 		if attempt > 0 {
 			reg.Counter("colza.stage.retries", "pipeline", h.pipeline).Inc()
-			time.Sleep(h.backoff(retry, attempt-1))
+			sleep := h.backoff(retry, attempt-1)
+			// A busy server named its price; never retry sooner than its
+			// Retry-After hint.
+			if ra := BusyRetryAfter(err); ra > sleep {
+				sleep = ra
+			}
+			time.Sleep(sleep)
 		}
 		_, err = h.c.call(view.Members[target].RPC, "stage", payload, timeout)
 		if err == nil {

@@ -33,6 +33,12 @@ const (
 	ClassRemote
 	// ClassLocal: a client-side failure (encoding, invalid argument).
 	ClassLocal
+	// ClassBusy: the server shed the request at admission (execution-stream
+	// queue full). The request definitely did not execute — always safe to
+	// retry, even for non-idempotent operations — and the server is alive,
+	// so cached info about it stays valid. Busy errors carry a Retry-After
+	// hint (BusyRetryAfter).
+	ClassBusy
 )
 
 // String names the class for logs and metric labels ("timeout",
@@ -49,6 +55,8 @@ func (c ErrorClass) String() string {
 		return "remote"
 	case ClassLocal:
 		return "local"
+	case ClassBusy:
+		return "busy"
 	default:
 		return "unknown"
 	}
@@ -61,6 +69,8 @@ func Classify(err error) ErrorClass {
 		return ClassOK
 	case errors.Is(err, mercury.ErrTimeout):
 		return ClassTimeout
+	case errors.Is(err, mercury.ErrBusy):
+		return ClassBusy
 	case errors.Is(err, na.ErrNoRoute),
 		errors.Is(err, na.ErrClosed),
 		errors.Is(err, mercury.ErrClosed),
@@ -79,11 +89,21 @@ func Classify(err error) ErrorClass {
 // succeed if reissued (possibly against a refreshed view).
 func Retryable(err error) bool {
 	switch Classify(err) {
-	case ClassTimeout, ClassUnreachable:
+	case ClassTimeout, ClassUnreachable, ClassBusy:
 		return true
 	default:
 		return false
 	}
+}
+
+// BusyRetryAfter extracts the server's Retry-After hint from a busy error,
+// or 0 when err is not busy or carries no hint.
+func BusyRetryAfter(err error) time.Duration {
+	var be *mercury.BusyError
+	if errors.As(err, &be) {
+		return be.RetryAfter
+	}
+	return 0
 }
 
 // RetryPolicy bounds a jittered exponential backoff: attempt k (0-based)

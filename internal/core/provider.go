@@ -169,6 +169,28 @@ func NewProvider(mi *margo.Instance, mn *mona.Instance, group *ssg.Group) *Provi
 	return p
 }
 
+// BindPools routes this provider's RPCs onto two execution streams, the
+// paper's Margo pool split: control-plane RPCs (2PC, membership, admin) on
+// a small latency-oriented pool, the data plane (stage, execute) on a
+// throughput pool. Either pool may be nil to leave that set unbounded.
+// SWIM gossip and the mercury bulk-pull service stay unpooled on purpose:
+// gossip is tiny and latency-critical (queueing it behind a staging burst
+// would read as member failure), and bulk pulls are only ever driven by
+// pooled stage handlers, which already bound their concurrency.
+func (p *Provider) BindPools(control, data *margo.Pool) {
+	for _, rpc := range []string{"stage", "execute"} {
+		p.mi.BindRPCPool(margo.ProviderRPCName(ProviderID, rpc), data)
+	}
+	for _, rpc := range []string{"prepare", "commit", "abort", "deactivate",
+		"members", "info", "migrate_state", "activate_solo"} {
+		p.mi.BindRPCPool(margo.ProviderRPCName(ProviderID, rpc), control)
+	}
+	for _, rpc := range []string{"create_pipeline", "destroy_pipeline",
+		"list_pipelines", "list_types", "leave", "metrics", "metrics_json", "trace"} {
+		p.mi.BindRPCPool(margo.ProviderRPCName(AdminID, rpc), control)
+	}
+}
+
 // Info returns this server's address pair.
 func (p *Provider) Info() ServerInfo {
 	return ServerInfo{RPC: p.mi.Addr(), Mona: p.mn.Addr()}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"time"
 
 	"colza/internal/margo"
 	"colza/internal/mona"
@@ -23,6 +25,43 @@ type Server struct {
 	Obs      *obs.Registry
 }
 
+// PoolsConfig sizes the server's two execution streams (see
+// Provider.BindPools). Zero-valued fields take the defaults below.
+type PoolsConfig struct {
+	// Control runs the 2PC, membership, and admin RPCs: small and
+	// latency-oriented.
+	Control margo.PoolConfig
+	// Data runs stage and execute: sized for throughput.
+	Data margo.PoolConfig
+	// Disable reverts to the historic unbounded goroutine-per-RPC server
+	// (no admission control, no shedding).
+	Disable bool
+}
+
+// Pool names a server defines on its margo instance.
+const (
+	ControlPoolName = "control"
+	DataPoolName    = "data"
+)
+
+// DefaultControlPool is the control-plane pool sizing: RPCs here are
+// cheap (JSON decode + state mutation), so few workers suffice, but the
+// queue absorbs a full 2PC round from many concurrent pipelines.
+func DefaultControlPool() margo.PoolConfig {
+	return margo.PoolConfig{Workers: 8, Queue: 64, BusyHint: time.Millisecond}
+}
+
+// DefaultDataPool sizes the stage/execute pool to the machine: one worker
+// per processor (at least 4), with a 4x queue so short bursts ride through
+// without shedding.
+func DefaultDataPool() margo.PoolConfig {
+	w := runtime.GOMAXPROCS(0)
+	if w < 4 {
+		w = 4
+	}
+	return margo.PoolConfig{Workers: w, Queue: 4 * w, BusyHint: 2 * time.Millisecond}
+}
+
 // ServerConfig tunes a staging server.
 type ServerConfig struct {
 	// GroupName is the SSG group name (default "colza").
@@ -32,6 +71,8 @@ type ServerConfig struct {
 	Bootstrap string
 	// SSG tunes the gossip protocol.
 	SSG ssg.Config
+	// Pools bounds the server's execution streams.
+	Pools PoolsConfig
 }
 
 // StartServer assembles a staging server from its two endpoints. rpcEP
@@ -58,6 +99,17 @@ func StartServer(rpcEP, monaEP na.Endpoint, cfg ServerConfig) (*Server, error) {
 	}
 	s := &Server{MI: mi, Mona: mn, Group: group, Provider: NewProvider(mi, mn, group), Obs: obs.NewRegistry()}
 	s.Provider.SetObserver(s.Obs)
+	if !cfg.Pools.Disable {
+		pc := cfg.Pools.Control
+		if pc == (margo.PoolConfig{}) {
+			pc = DefaultControlPool()
+		}
+		pd := cfg.Pools.Data
+		if pd == (margo.PoolConfig{}) {
+			pd = DefaultDataPool()
+		}
+		s.Provider.BindPools(mi.DefinePool(ControlPoolName, pc), mi.DefinePool(DataPoolName, pd))
+	}
 	mi.OnFinalize(func() { mn.Finalize() })
 	return s, nil
 }

@@ -28,6 +28,12 @@ type Instance struct {
 
 	obsReg atomic.Pointer[obs.Registry]
 
+	// Execution streams (see pool.go): named bounded pools plus the RPC
+	// routing table the dispatcher consults on every incoming request.
+	pmu     sync.RWMutex
+	pools   map[string]*Pool
+	rpcPool map[string]*Pool
+
 	mu        sync.Mutex
 	finalized bool
 	stops     []*stopper
@@ -175,6 +181,18 @@ func (m *Instance) Finalize() {
 		final[i]()
 	}
 	m.class.Close()
+	// With the endpoint closed no new work can be admitted; stop the pool
+	// workers after they drain what was already accepted (their response
+	// sends fail harmlessly against the closed endpoint).
+	m.pmu.Lock()
+	pools := make([]*Pool, 0, len(m.pools))
+	for _, p := range m.pools {
+		pools = append(pools, p)
+	}
+	m.pmu.Unlock()
+	for _, p := range pools {
+		p.close()
+	}
 }
 
 // Finalized reports whether Finalize has run.

@@ -30,7 +30,29 @@ var (
 	ErrClosed = errors.New("mercury: class closed")
 	// ErrBadBulk indicates an invalid bulk handle or range.
 	ErrBadBulk = errors.New("mercury: invalid bulk handle")
+	// ErrBusy indicates the callee shed the request before running its
+	// handler (execution-stream queue full). The request definitely did not
+	// execute, so it is always safe to retry — even non-idempotent ones.
+	// Returned errors are *BusyError values carrying a backoff hint; match
+	// with errors.Is(err, ErrBusy) or errors.As.
+	ErrBusy = errors.New("mercury: server busy")
 )
+
+// BusyError is the retryable overload signal: the callee refused to queue
+// the request and suggests the caller wait RetryAfter before reissuing. It
+// travels on the wire as its own response status (not a RemoteError), so
+// callers can distinguish "shed at admission" from "handler failed".
+type BusyError struct{ RetryAfter time.Duration }
+
+func (e *BusyError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("mercury: server busy (retry after %v)", e.RetryAfter)
+	}
+	return "mercury: server busy"
+}
+
+// Is makes errors.Is(err, ErrBusy) succeed on wire-decoded busy responses.
+func (e *BusyError) Is(target error) bool { return target == ErrBusy }
 
 // RemoteError carries an error string produced by a remote handler.
 type RemoteError struct{ Msg string }
@@ -59,6 +81,16 @@ type CallHook func(to, name string) error
 // skipped. The callee-side analog of CallHook.
 type ServeHook func(req Request) error
 
+// Dispatcher schedules the execution of an incoming request's handler. run
+// performs the complete serve (handler + response send) and must be invoked
+// exactly once, on whatever execution stream the dispatcher chooses. A
+// non-nil return sheds the request: run is NOT invoked and the error is
+// sent to the caller directly from the progress loop — return *BusyError to
+// make the shed retryable with a backoff hint. The zero dispatcher (none
+// installed) runs every handler on its own goroutine, the historic
+// unbounded behavior; margo installs one to bind RPCs to bounded pools.
+type Dispatcher func(name string, run func()) error
+
 // DefaultTimeout is used by Call when the caller passes 0.
 const DefaultTimeout = 10 * time.Second
 
@@ -71,6 +103,16 @@ const (
 	kindResponse = 2
 )
 
+// Response status byte values.
+const (
+	statusOK         = 0
+	statusRemoteErr  = 1
+	statusUnknownRPC = 2
+	// statusBusy carries an 8-byte little-endian retry-after hint in
+	// nanoseconds as its payload.
+	statusBusy = 3
+)
+
 const bulkPullRPC = "__mercury/bulk_pull"
 
 // Class binds RPC state to one NA endpoint (the analog of an hg_class with
@@ -79,11 +121,12 @@ const bulkPullRPC = "__mercury/bulk_pull"
 type Class struct {
 	ep na.Endpoint
 
-	mu        sync.RWMutex
-	handlers  map[string]Handler
-	callHook  CallHook
-	serveHook ServeHook
-	closed    bool
+	mu         sync.RWMutex
+	handlers   map[string]Handler
+	callHook   CallHook
+	serveHook  ServeHook
+	dispatcher Dispatcher
+	closed     bool
 
 	pmu     sync.Mutex
 	pending map[uint64]chan response
@@ -174,6 +217,14 @@ func (c *Class) SetServeHook(h ServeHook) {
 	c.mu.Unlock()
 }
 
+// SetDispatcher installs (or, with nil, removes) the execution-stream
+// dispatcher for incoming requests.
+func (c *Class) SetDispatcher(d Dispatcher) {
+	c.mu.Lock()
+	c.dispatcher = d
+	c.mu.Unlock()
+}
+
 // Call invokes the named RPC at address to and waits for the response.
 // timeout<=0 selects DefaultTimeout.
 func (c *Class) Call(to, name string, payload []byte, timeout time.Duration) (resp []byte, err error) {
@@ -226,10 +277,16 @@ func (c *Class) Call(to, name string, payload []byte, timeout time.Duration) (re
 	select {
 	case r := <-ch:
 		switch r.status {
-		case 0:
+		case statusOK:
 			return r.payload, nil
-		case 2:
+		case statusUnknownRPC:
 			return nil, fmt.Errorf("%w: %s at %s", ErrUnknownRPC, name, to)
+		case statusBusy:
+			var ra time.Duration
+			if len(r.payload) >= 8 {
+				ra = time.Duration(binary.LittleEndian.Uint64(r.payload))
+			}
+			return nil, &BusyError{RetryAfter: ra}
 		default:
 			return nil, &RemoteError{Msg: string(r.payload)}
 		}
@@ -261,8 +318,19 @@ func (c *Class) progress() {
 			}
 			c.mu.RLock()
 			h := c.handlers[name]
+			d := c.dispatcher
 			c.mu.RUnlock()
-			go c.serve(from, id, name, payload, h)
+			if d == nil {
+				go c.serve(from, id, name, payload, h)
+				continue
+			}
+			if err := d(name, func() { c.serve(from, id, name, payload, h) }); err != nil {
+				// Shed at admission: no handler goroutine exists for this
+				// request, so the refusal is sent inline from the progress
+				// loop. The frame is tiny; with transport write deadlines
+				// this cannot wedge the loop.
+				c.respondError(from, id, name, err)
+			}
 		case kindResponse:
 			if len(body) < 1 {
 				continue
@@ -286,7 +354,7 @@ func (c *Class) serve(from string, id uint64, name string, payload []byte, h Han
 	var status byte
 	var out []byte
 	if h == nil {
-		status = 2
+		status = statusUnknownRPC
 	} else {
 		req := Request{From: from, Name: name, Payload: payload}
 		c.mu.RLock()
@@ -301,18 +369,47 @@ func (c *Class) serve(from string, id uint64, name string, payload []byte, h Han
 			res, err = h(req)
 		}
 		if err != nil {
-			status = 1
-			out = []byte(err.Error())
+			status, out = errorResponse(err)
 		} else {
 			out = res
 		}
 	}
 	m.latency.Observe(int64(reg.Now() - start))
-	if status != 0 {
+	if status != statusOK {
 		m.errors.Inc()
 	}
-	// Response frames are pooled like request frames: Send is done with the
-	// slice when it returns.
+	c.respond(from, id, status, out)
+}
+
+// errorResponse maps a handler (or dispatcher) error to its wire status and
+// payload. Busy errors keep their own status so the caller's retry logic
+// can tell admission shedding from handler failure.
+func errorResponse(err error) (status byte, out []byte) {
+	var be *BusyError
+	if errors.As(err, &be) {
+		var hint [8]byte
+		binary.LittleEndian.PutUint64(hint[:], uint64(be.RetryAfter))
+		return statusBusy, hint[:]
+	}
+	if errors.Is(err, ErrBusy) {
+		return statusBusy, nil
+	}
+	return statusRemoteErr, []byte(err.Error())
+}
+
+// respondError reports a request that was refused before its handler ran
+// (dispatcher shed); it is counted as a served error for that RPC name.
+func (c *Class) respondError(from string, id uint64, name string, err error) {
+	m := c.serveM.serve(c.observer(), name)
+	m.count.Inc()
+	m.errors.Inc()
+	status, out := errorResponse(err)
+	c.respond(from, id, status, out)
+}
+
+// respond sends one response frame. The frame is pooled: Send is done with
+// the slice when it returns.
+func (c *Class) respond(from string, id uint64, status byte, out []byte) {
 	frame := bufpool.Get(10 + len(out))
 	frame[0] = kindResponse
 	binary.LittleEndian.PutUint64(frame[1:], id)

@@ -2,16 +2,27 @@ package na
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"strings"
 	"sync"
+	"time"
+
+	"colza/internal/bufpool"
 )
 
 // maxFrame bounds a single TCP message frame (64 MiB), protecting the
 // receiver from corrupt length prefixes.
 const maxFrame = 64 << 20
+
+// defaultTCPWriteTimeout bounds how long one frame write may block on a
+// peer that stopped reading. On expiry the connection is dropped and the
+// frame counts as a lost datagram — one stalled peer must never wedge
+// every sender to that address (the per-conn write lock is held across the
+// write, so without a deadline a single full socket buffer would).
+const defaultTCPWriteTimeout = 10 * time.Second
 
 // ListenTCP creates an endpoint bound to hostport (e.g. "127.0.0.1:0");
 // its address is "tcp://" + the actual listen address. Frames carry the
@@ -22,23 +33,27 @@ func ListenTCP(hostport string) (Endpoint, error) {
 		return nil, fmt.Errorf("na: listen: %w", err)
 	}
 	ep := &tcpEP{
-		addr:  "tcp://" + l.Addr().String(),
-		l:     l,
-		q:     newPktQueue(),
-		conns: make(map[string]*tcpConn),
+		addr:         "tcp://" + l.Addr().String(),
+		l:            l,
+		q:            newPktQueue(),
+		conns:        make(map[string]*tcpConn),
+		accepted:     make(map[net.Conn]struct{}),
+		writeTimeout: defaultTCPWriteTimeout,
 	}
 	go ep.acceptLoop()
 	return ep, nil
 }
 
 type tcpEP struct {
-	addr string
-	l    net.Listener
-	q    *pktQueue
+	addr         string
+	l            net.Listener
+	q            *pktQueue
+	writeTimeout time.Duration
 
-	mu     sync.Mutex
-	conns  map[string]*tcpConn
-	closed bool
+	mu       sync.Mutex
+	conns    map[string]*tcpConn   // outbound dials, keyed by peer address
+	accepted map[net.Conn]struct{} // inbound conns owned by readLoops
+	closed   bool
 }
 
 type tcpConn struct {
@@ -54,12 +69,28 @@ func (e *tcpEP) acceptLoop() {
 		if err != nil {
 			return
 		}
+		// Track the inbound conn so Close can reap it (and its readLoop);
+		// untracked accepted conns used to leak goroutines and fds past
+		// Close for as long as the remote side stayed up.
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			c.Close()
+			return
+		}
+		e.accepted[c] = struct{}{}
+		e.mu.Unlock()
 		go e.readLoop(c)
 	}
 }
 
 func (e *tcpEP) readLoop(c net.Conn) {
-	defer c.Close()
+	defer func() {
+		c.Close()
+		e.mu.Lock()
+		delete(e.accepted, c)
+		e.mu.Unlock()
+	}()
 	for {
 		from, data, err := readFrame(c)
 		if err != nil {
@@ -88,17 +119,17 @@ func readFrame(r io.Reader) (string, []byte, error) {
 	return string(buf[:fromLen]), buf[fromLen:], nil
 }
 
+// writeFrame assembles header+sender+payload in one pooled buffer so a
+// frame leaves in a single Write (one syscall, and no partial-frame
+// interleaving risk if a future caller ever skips the conn lock).
 func writeFrame(w io.Writer, from string, data []byte) error {
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(from)))
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(data)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := io.WriteString(w, from); err != nil {
-		return err
-	}
-	_, err := w.Write(data)
+	buf := bufpool.Get(8 + len(from) + len(data))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(from)))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(data)))
+	copy(buf[8:], from)
+	copy(buf[8+len(from):], data)
+	_, err := w.Write(buf)
+	bufpool.Put(buf)
 	return err
 }
 
@@ -113,19 +144,38 @@ func (e *tcpEP) Send(to string, data []byte) error {
 	conn, err := e.getConn(to, hostport)
 	if err != nil {
 		// Connection refused behaves like a lost datagram once the peer is
-		// gone; surface only resolution-style failures.
-		if strings.Contains(err.Error(), "missing port") {
-			return fmt.Errorf("%w: %s", ErrNoRoute, to)
+		// gone; surface only resolution-style failures (malformed address,
+		// unresolvable host) — those mean the address can never work.
+		if isAddressErr(err) {
+			return fmt.Errorf("%w: %s: %v", ErrNoRoute, to, err)
 		}
 		return nil
 	}
 	conn.mu.Lock()
+	if e.writeTimeout > 0 {
+		conn.c.SetWriteDeadline(time.Now().Add(e.writeTimeout))
+	}
 	err = writeFrame(conn.c, e.addr, data)
 	conn.mu.Unlock()
 	if err != nil {
+		// Covers write timeouts too: the stalled conn is discarded so the
+		// next Send re-dials instead of queueing behind a dead socket.
 		e.dropConn(to, conn)
 	}
 	return nil
+}
+
+// isAddressErr classifies dial failures that indicate the address itself is
+// unusable (missing port, malformed host, failed name resolution), as
+// opposed to a live-network failure like connection refused. net.OpError
+// wraps these, so errors.As unwraps through it.
+func isAddressErr(err error) bool {
+	var ae *net.AddrError
+	if errors.As(err, &ae) {
+		return true
+	}
+	var de *net.DNSError
+	return errors.As(err, &de)
 }
 
 func (e *tcpEP) getConn(to, hostport string) (*tcpConn, error) {
@@ -187,10 +237,20 @@ func (e *tcpEP) Close() error {
 	e.closed = true
 	conns := e.conns
 	e.conns = map[string]*tcpConn{}
+	accepted := make([]net.Conn, 0, len(e.accepted))
+	for c := range e.accepted {
+		accepted = append(accepted, c)
+	}
 	e.mu.Unlock()
 	e.l.Close()
 	for _, c := range conns {
 		c.c.Close()
+	}
+	// Closing inbound conns unblocks their readLoops, which deregister
+	// themselves; without this, accepted sockets (and their goroutines)
+	// outlived the endpoint.
+	for _, c := range accepted {
+		c.Close()
 	}
 	e.q.close()
 	return nil
