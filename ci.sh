@@ -38,4 +38,8 @@ go test -count=1 -run 'AllocsCeiling' ./internal/bench/
 # readLoops, and the overload e2e asserts the server's goroutine envelope
 # stays bounded (pools, not O(clients)) and drains back to baseline.
 go test -count=1 -timeout 120s -run 'TestTCPCloseReapsAcceptedConns|TestOverloadShedsAndRecovers' ./internal/na/ ./internal/e2e/
+# Crash-recovery gate: killing the stateful server mid-run must reproduce
+# the crash-free oracle's cumulative statistics exactly (replicated
+# checkpoints), and the no-replication control arm must document the loss.
+go test -race -count=1 -timeout 300s -run 'TestCrashRecovery' ./internal/e2e/
 check_cover

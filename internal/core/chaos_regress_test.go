@@ -431,8 +431,11 @@ func TestDeferredLeaveMigratesOnceAndRejectsPrepare(t *testing.T) {
 	if got := res[0].Summary["total"]; got != 200 {
 		t.Fatalf("survivor total = %v, want 200 (state lost or duplicated)", got)
 	}
-	// Exactly-once: the leaver exported once, the survivor imported once —
-	// even if finishLeave is poked again (idempotence guard).
+	// Exactly-once import: the survivor imported the leaver's state once —
+	// even if finishLeave is poked again (idempotence guard). Exports are 3:
+	// both servers checkpointed at deactivate(1) (two-member view, one ring
+	// successor each) plus the leaver's migration export; deactivate(2) sees
+	// a single-member view, which checkpointStateful skips before exporting.
 	d.servers[1].Provider.finishLeave(nil)
 	var exports, imports int
 	for _, p := range insts {
@@ -441,8 +444,13 @@ func TestDeferredLeaveMigratesOnceAndRejectsPrepare(t *testing.T) {
 		imports += p.imports
 		p.mu.Unlock()
 	}
-	if exports != 1 || imports != 1 {
-		t.Fatalf("exports=%d imports=%d, want exactly 1 and 1", exports, imports)
+	if exports != 3 || imports != 1 {
+		t.Fatalf("exports=%d imports=%d, want exactly 3 and 1", exports, imports)
+	}
+	// The acknowledged migration discarded the leaver's checkpoint replica
+	// on the survivor; the survivor's own replica died with the leaver.
+	if held := d.servers[0].Provider.HeldCheckpoints(); held != 0 {
+		t.Fatalf("survivor still holds %d checkpoints, want 0 after discard", held)
 	}
 }
 

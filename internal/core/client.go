@@ -764,6 +764,22 @@ func (a *AdminClient) RequestLeave(serverRPC string) error {
 	return err
 }
 
+// MigrationStatus fetches the outcome of a server's leave-time state
+// migration — how finishLeave reports a partial migration to operators
+// instead of dropping it on the floor. It errors while no leave has
+// completed on the target.
+func (a *AdminClient) MigrationStatus(serverRPC string) (MigrationStatus, error) {
+	raw, err := a.mi.CallProvider(serverRPC, AdminID, "migration_status", nil, a.timeout)
+	if err != nil {
+		return MigrationStatus{}, err
+	}
+	var st MigrationStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return MigrationStatus{}, err
+	}
+	return st, nil
+}
+
 // Metrics fetches one server's metrics registry as the stable text dump
 // (the payload `colza-ctl metrics` prints).
 func (a *AdminClient) Metrics(serverRPC string) (string, error) {

@@ -129,11 +129,21 @@ type deployment struct {
 
 func deploy(t *testing.T, n int) *deployment {
 	t.Helper()
+	return deployCfg(t, n, nil)
+}
+
+// deployCfg is deploy with a per-server config hook (e.g. to disable or
+// raise state replication).
+func deployCfg(t *testing.T, n int, mutate func(i int, cfg *ServerConfig)) *deployment {
+	t.Helper()
 	d := &deployment{net: na.NewInprocNetwork()}
 	for i := 0; i < n; i++ {
 		cfg := ServerConfig{SSG: fastSSG(int64(i + 1))}
 		if i > 0 {
 			cfg.Bootstrap = d.servers[0].Addr()
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
 		}
 		s, err := StartInprocServer(d.net, fmt.Sprintf("srv%d", i), cfg)
 		if err != nil {

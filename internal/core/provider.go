@@ -82,6 +82,7 @@ type activeState struct {
 	iteration uint64
 	rank      int
 	comm      *mona.Comm
+	view      MemberView // the 2PC-pinned view, kept for checkpoint placement
 
 	// inflight counts stage/execute handlers currently running on the
 	// backend; draining marks a teardown in progress. Teardown (deactivate
@@ -113,12 +114,21 @@ type Provider struct {
 
 	obsReg atomic.Pointer[obs.Registry]
 
-	mu          sync.Mutex
-	pipelines   map[string]*pipelineSlot
-	activeIters int
-	leaving     bool
-	left        bool
-	onLeave     func()
+	mu            sync.Mutex
+	pipelines     map[string]*pipelineSlot
+	activeIters   int
+	leaving       bool
+	left          bool
+	onLeave       func()
+	stateReplicas int              // ring successors per checkpoint round; 0 disables
+	lastMigration *MigrationStatus // outcome of the leave-time migration
+
+	// Replicated-checkpoint store (see checkpoint.go): checkpoints held for
+	// peers, and the replica sets of this server's own last rounds (for
+	// discard after a successful migration).
+	ckptMu       sync.Mutex
+	ckpts        map[ckptKey]*ckptEntry
+	sentReplicas map[string][]string
 }
 
 // SetObserver routes this provider's metrics and spans (and the Margo
@@ -130,6 +140,14 @@ func (p *Provider) SetObserver(r *obs.Registry) {
 	}
 	p.obsReg.Store(r)
 	p.mi.SetObserver(r)
+	// Pre-create the durability layer's failure instruments so every
+	// metrics snapshot carries them (at zero): a migration or checkpoint
+	// failure must never be invisible just because its counter was never
+	// touched.
+	r.Counter("core.migrate.errors")
+	r.Counter("core.state.checkpoint.errors")
+	r.Counter("core.state.recover.count")
+	r.Gauge("core.state.replica.lag")
 }
 
 func (p *Provider) observer() *obs.Registry {
@@ -143,10 +161,13 @@ func (p *Provider) observer() *obs.Registry {
 // and group for membership. group may be nil for single-server tests.
 func NewProvider(mi *margo.Instance, mn *mona.Instance, group *ssg.Group) *Provider {
 	p := &Provider{
-		mi:        mi,
-		mn:        mn,
-		group:     group,
-		pipelines: make(map[string]*pipelineSlot),
+		mi:            mi,
+		mn:            mn,
+		group:         group,
+		pipelines:     make(map[string]*pipelineSlot),
+		stateReplicas: 1,
+		ckpts:         make(map[ckptKey]*ckptEntry),
+		sentReplicas:  make(map[string][]string),
 	}
 	mi.RegisterProviderRPC(ProviderID, "prepare", p.handlePrepare)
 	mi.RegisterProviderRPC(ProviderID, "commit", p.handleCommit)
@@ -162,7 +183,10 @@ func NewProvider(mi *margo.Instance, mn *mona.Instance, group *ssg.Group) *Provi
 	mi.RegisterProviderRPC(AdminID, "list_types", p.handleListTypes)
 	mi.RegisterProviderRPC(AdminID, "leave", p.handleLeave)
 	mi.RegisterProviderRPC(ProviderID, "migrate_state", p.handleMigrateState)
+	mi.RegisterProviderRPC(ProviderID, "checkpoint_state", p.handleCheckpointState)
+	mi.RegisterProviderRPC(ProviderID, "checkpoint_discard", p.handleCheckpointDiscard)
 	mi.RegisterProviderRPC(ProviderID, "activate_solo", p.handleActivateSolo)
+	mi.RegisterProviderRPC(AdminID, "migration_status", p.handleMigrationStatus)
 	mi.RegisterProviderRPC(AdminID, "metrics", p.handleMetrics)
 	mi.RegisterProviderRPC(AdminID, "metrics_json", p.handleMetricsJSON)
 	mi.RegisterProviderRPC(AdminID, "trace", p.handleTrace)
@@ -178,15 +202,24 @@ func NewProvider(mi *margo.Instance, mn *mona.Instance, group *ssg.Group) *Provi
 // would read as member failure), and bulk pulls are only ever driven by
 // pooled stage handlers, which already bound their concurrency.
 func (p *Provider) BindPools(control, data *margo.Pool) {
-	for _, rpc := range []string{"stage", "execute"} {
+	// State transfers (migrate_state, checkpoint_*) ride the data pool even
+	// though they are control-plane RPCs: they carry whole state blobs, and
+	// — more importantly — they are issued synchronously from handlers that
+	// themselves run on a peer's control pool (deactivate, leave). Keeping
+	// them off the control pool removes the mutual-wait cycle two servers
+	// checkpointing to each other would otherwise risk under a saturated
+	// control stream.
+	for _, rpc := range []string{"stage", "execute",
+		"migrate_state", "checkpoint_state", "checkpoint_discard"} {
 		p.mi.BindRPCPool(margo.ProviderRPCName(ProviderID, rpc), data)
 	}
 	for _, rpc := range []string{"prepare", "commit", "abort", "deactivate",
-		"members", "info", "migrate_state", "activate_solo"} {
+		"members", "info", "activate_solo"} {
 		p.mi.BindRPCPool(margo.ProviderRPCName(ProviderID, rpc), control)
 	}
 	for _, rpc := range []string{"create_pipeline", "destroy_pipeline",
-		"list_pipelines", "list_types", "leave", "metrics", "metrics_json", "trace"} {
+		"list_pipelines", "list_types", "leave", "metrics", "metrics_json",
+		"trace", "migration_status"} {
 		p.mi.BindRPCPool(margo.ProviderRPCName(AdminID, rpc), control)
 	}
 }
@@ -229,6 +262,10 @@ func (p *Provider) CreatePipeline(name, typeName string, config json.RawMessage)
 // DestroyPipeline removes a pipeline, draining any in-flight stage/execute
 // handlers before tearing down the active iteration.
 func (p *Provider) DestroyPipeline(name string) error {
+	return p.destroyPipeline(name, nil)
+}
+
+func (p *Provider) destroyPipeline(name string, flush func(func())) error {
 	p.mu.Lock()
 	slot, ok := p.pipelines[name]
 	if ok {
@@ -254,7 +291,7 @@ func (p *Provider) DestroyPipeline(name string) error {
 		p.mn.DestroyComm(st.comm)
 		slot.active = nil
 		slot.mu.Unlock()
-		p.iterDone()
+		p.iterDone(flush)
 	}
 	slot.mu.Lock()
 	defer slot.mu.Unlock()
@@ -367,12 +404,16 @@ func (p *Provider) handleCommit(req mercury.Request) ([]byte, error) {
 		Comm:      c,
 		View:      st.view,
 	}
+	// Before the instance starts the iteration, re-seed any orphaned
+	// checkpoints: state whose origin server fell out of the committed
+	// view, because it crashed or its leave-time migration was lost.
+	p.recoverOrphans(slot, st.view)
 	if err := slot.backend.Activate(ctx); err != nil {
 		p.mn.DestroyComm(c)
 		return nil, fmt.Errorf("colza: pipeline activate: %w", err)
 	}
 	slot.prepared = nil
-	slot.active = &activeState{epoch: st.epoch, iteration: st.iteration, rank: rank, comm: c}
+	slot.active = &activeState{epoch: st.epoch, iteration: st.iteration, rank: rank, comm: c, view: st.view}
 	p.mu.Lock()
 	p.activeIters++
 	p.mu.Unlock()
@@ -506,7 +547,13 @@ func (p *Provider) handleDeactivate(req mercury.Request) ([]byte, error) {
 	slot.active = nil
 	slot.mu.Unlock()
 	sp.End(err)
-	p.iterDone()
+	if err == nil {
+		// The iteration's state is now quiescent: replicate it before the
+		// client can activate the next view (which may no longer contain
+		// this server).
+		p.checkpointStateful(slot, st.view, msg.Iteration)
+	}
+	p.iterDone(req.Defer)
 	if err != nil {
 		return nil, err
 	}
@@ -514,8 +561,10 @@ func (p *Provider) handleDeactivate(req mercury.Request) ([]byte, error) {
 }
 
 // iterDone decrements the active-iteration count and completes a deferred
-// leave once the server is idle.
-func (p *Provider) iterDone() {
+// leave once the server is idle. flush, when non-nil, orders the OnLeave
+// callback after the in-flight RPC response (mercury.Request.Defer of the
+// deactivate/destroy handler that retired the iteration).
+func (p *Provider) iterDone(flush func(func())) {
 	p.observer().Gauge("colza.active.iterations").Dec()
 	p.mu.Lock()
 	p.activeIters--
@@ -523,7 +572,7 @@ func (p *Provider) iterDone() {
 	fn := p.onLeave
 	p.mu.Unlock()
 	if doLeave {
-		p.finishLeave(fn)
+		p.finishLeaveFlush(fn, flush)
 	}
 }
 
@@ -557,7 +606,7 @@ func (p *Provider) handleDestroyPipeline(req mercury.Request) ([]byte, error) {
 	if err := json.Unmarshal(req.Payload, &msg); err != nil {
 		return nil, err
 	}
-	if err := p.DestroyPipeline(msg.Name); err != nil {
+	if err := p.destroyPipeline(msg.Name, req.Defer); err != nil {
 		return nil, err
 	}
 	return []byte("ok"), nil
@@ -589,11 +638,16 @@ func (p *Provider) handleLeave(req mercury.Request) ([]byte, error) {
 	if deferLeave {
 		return []byte("leave deferred until iteration completes"), nil
 	}
-	p.finishLeave(fn)
+	p.finishLeaveFlush(fn, req.Defer)
 	return []byte("ok"), nil
 }
 
-func (p *Provider) finishLeave(fn func()) {
+// finishLeave completes a departure outside any RPC context (tests, direct
+// API use); RPC handlers go through finishLeaveFlush to order the OnLeave
+// callback after their own response.
+func (p *Provider) finishLeave(fn func()) { p.finishLeaveFlush(fn, nil) }
+
+func (p *Provider) finishLeaveFlush(fn func(), flush func(func())) {
 	p.mu.Lock()
 	if p.left {
 		p.mu.Unlock()
@@ -601,18 +655,30 @@ func (p *Provider) finishLeave(fn func()) {
 	}
 	p.left = true
 	p.mu.Unlock()
-	p.migrateStatefulPipelines()
+	st := p.migrateStatefulPipelines()
+	p.mu.Lock()
+	p.lastMigration = &st
+	p.mu.Unlock()
+	if st.Partial() {
+		p.observer().Gauge("core.migrate.partial").Set(int64(len(st.Failed)))
+	}
 	if p.group != nil {
 		p.group.Leave()
 	}
-	if fn != nil {
-		// The OnLeave callback typically shuts the process down; give the
-		// in-flight admin RPC response time to leave the endpoint first.
-		go func() {
-			time.Sleep(200 * time.Millisecond)
-			fn()
-		}()
+	if fn == nil {
+		return
 	}
+	if flush != nil {
+		// Response-flush handshake: fn (typically "shut the process down")
+		// runs only after the admin/deactivate reply has provably left the
+		// endpoint — the fixed 200ms sleep this replaces was a race under
+		// slow transports.
+		flush(fn)
+		return
+	}
+	// No response to order against: fire on a goroutine so the caller is
+	// not blocked by the host's shutdown.
+	go fn()
 }
 
 // migrateMsg carries a departing instance's state to a successor.
@@ -622,40 +688,89 @@ type migrateMsg struct {
 }
 
 // migrateStatefulPipelines ships the state of every StatefulBackend to a
-// surviving member before this server leaves (paper future work (3)).
-// Best effort: a migration failure must not block the departure.
-func (p *Provider) migrateStatefulPipelines() {
+// surviving member before this server leaves (paper future work (3)). The
+// preferred successor is the live ring-successor — the next member after
+// this server in rank order — and a peer that refuses because it is
+// mid-leave itself is skipped in favor of the next one, so two
+// simultaneous RequestLeaves cannot pick each other and strand both
+// states. A migration failure must not block the departure, but it is
+// never silent: every failed transfer counts into core.migrate.errors and
+// the returned status records what could not be moved (its checkpoint
+// replicas stay in place as the recovery backstop).
+func (p *Provider) migrateStatefulPipelines() MigrationStatus {
+	var status MigrationStatus
 	if p.group == nil {
-		return
+		return status
 	}
-	successor := ""
-	for _, m := range p.group.Members() {
-		if m != p.mi.Addr() {
-			successor = m
-			break
-		}
-	}
-	if successor == "" {
-		return // last server standing: nowhere to migrate
-	}
+	targets := ringAfter(p.group.Members(), p.mi.Addr())
 	p.mu.Lock()
 	slots := make([]*pipelineSlot, 0, len(p.pipelines))
 	for _, s := range p.pipelines {
 		slots = append(slots, s)
 	}
 	p.mu.Unlock()
+	reg := p.observer()
 	for _, slot := range slots {
 		sb, ok := slot.backend.(StatefulBackend)
 		if !ok {
 			continue
 		}
 		state, err := sb.ExportState()
-		if err != nil || len(state) == 0 {
+		if err != nil {
+			status.Attempted++
+			status.Failed = append(status.Failed, slot.name)
+			reg.Counter("core.migrate.errors").Inc()
 			continue
 		}
+		if len(state) == 0 {
+			continue
+		}
+		status.Attempted++
 		payload, _ := json.Marshal(migrateMsg{Pipeline: slot.name, State: state})
-		_, _ = p.mi.CallProvider(successor, ProviderID, "migrate_state", payload, 10*time.Second)
+		migrated := false
+		for _, succ := range targets {
+			if err := p.migrateCall(succ, payload); err != nil {
+				continue // next ring member (leaving, dead, or refusing)
+			}
+			migrated = true
+			break
+		}
+		if migrated {
+			status.Migrated++
+			// The state now lives on a successor with an ack; drop the stale
+			// checkpoint replicas so recovery cannot double-import it.
+			p.discardReplicas(slot.name)
+		} else {
+			// Includes the last-server-standing case (no targets): the state
+			// leaves with us, and the status says so.
+			status.Failed = append(status.Failed, slot.name)
+		}
 	}
+	return status
+}
+
+// migrateCall sends one migrate_state transfer, retrying once with backoff
+// on transient failures. Every failed attempt counts into
+// core.migrate.errors — the bug this replaces discarded the call result
+// outright. A remote refusal (the peer answered: it is leaving too, or the
+// pipeline is missing or stateless there) is final for this target; the
+// caller moves on to the next ring member.
+func (p *Provider) migrateCall(addr string, payload []byte) error {
+	reg := p.observer()
+	_, err := p.mi.CallProvider(addr, ProviderID, "migrate_state", payload, 10*time.Second)
+	if err == nil {
+		return nil
+	}
+	reg.Counter("core.migrate.errors").Inc()
+	if Classify(err) == ClassRemote {
+		return err
+	}
+	time.Sleep(50 * time.Millisecond)
+	_, err = p.mi.CallProvider(addr, ProviderID, "migrate_state", payload, 10*time.Second)
+	if err != nil {
+		reg.Counter("core.migrate.errors").Inc()
+	}
+	return err
 }
 
 // handleMigrateState merges a departing peer's pipeline state into the
@@ -664,6 +779,15 @@ func (p *Provider) handleMigrateState(req mercury.Request) ([]byte, error) {
 	var msg migrateMsg
 	if err := json.Unmarshal(req.Payload, &msg); err != nil {
 		return nil, err
+	}
+	p.mu.Lock()
+	leaving := p.leaving
+	p.mu.Unlock()
+	if leaving {
+		// Refuse: this server is departing too, so accepting the state
+		// would strand it. The migrator moves on to its next ring
+		// successor.
+		return nil, fmt.Errorf("colza: server %s is leaving; cannot accept state for %q", p.mi.Addr(), msg.Pipeline)
 	}
 	slot, err := p.slot(msg.Pipeline)
 	if err != nil {

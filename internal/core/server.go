@@ -73,6 +73,11 @@ type ServerConfig struct {
 	SSG ssg.Config
 	// Pools bounds the server's execution streams.
 	Pools PoolsConfig
+	// StateReplicas is how many ring successors receive each stateful
+	// pipeline's checkpoint after a deactivate (the durability layer,
+	// DESIGN.md §9). 0 selects the default of 1; a negative value disables
+	// checkpointing entirely.
+	StateReplicas int
 }
 
 // StartServer assembles a staging server from its two endpoints. rpcEP
@@ -99,6 +104,14 @@ func StartServer(rpcEP, monaEP na.Endpoint, cfg ServerConfig) (*Server, error) {
 	}
 	s := &Server{MI: mi, Mona: mn, Group: group, Provider: NewProvider(mi, mn, group), Obs: obs.NewRegistry()}
 	s.Provider.SetObserver(s.Obs)
+	switch {
+	case cfg.StateReplicas < 0:
+		s.Provider.SetStateReplicas(0)
+	case cfg.StateReplicas == 0:
+		s.Provider.SetStateReplicas(1)
+	default:
+		s.Provider.SetStateReplicas(cfg.StateReplicas)
+	}
 	if !cfg.Pools.Disable {
 		pc := cfg.Pools.Control
 		if pc == (margo.PoolConfig{}) {

@@ -57,7 +57,7 @@ func (p *Provider) handleActivateSolo(req mercury.Request) ([]byte, error) {
 		p.mn.DestroyComm(c)
 		return nil, fmt.Errorf("colza: pipeline activate: %w", err)
 	}
-	slot.active = &activeState{epoch: msg.Epoch, iteration: msg.Iteration, comm: c}
+	slot.active = &activeState{epoch: msg.Epoch, iteration: msg.Iteration, comm: c, view: view}
 	p.mu.Lock()
 	p.activeIters++
 	p.mu.Unlock()

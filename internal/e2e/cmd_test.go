@@ -163,6 +163,13 @@ func TestCommandLineDeployment(t *testing.T) {
 	if !strings.Contains(metrics, "hist span.srv.execute{pipeline=viz}") {
 		t.Fatalf("metrics lack execute span histogram:\n%s", metrics)
 	}
+	// The failure counters of the state-durability layer must be exported
+	// even when zero (they are pre-touched at registration): a clean dump
+	// proves the absence of silent migrate/checkpoint/respond failures
+	// rather than the absence of instrumentation.
+	assertMetricPresent(t, metrics, "counter core.migrate.errors")
+	assertMetricPresent(t, metrics, "counter core.state.checkpoint.errors")
+	assertMetricPresent(t, metrics, "counter mercury.respond.send_errors")
 
 	// `colza-ctl trace` emits the span records as JSON lines.
 	var spanNames []string
@@ -228,6 +235,18 @@ func assertMetricLine(t *testing.T, metrics, prefix string) {
 			return
 		}
 		t.Fatalf("metric %q present but not positive: %q", prefix, line)
+	}
+	t.Fatalf("metrics lack %q:\n%s", prefix, metrics)
+}
+
+// assertMetricPresent asserts the text dump exports the metric line at
+// all, whatever its value — for error counters whose healthy value is 0.
+func assertMetricPresent(t *testing.T, metrics, prefix string) {
+	t.Helper()
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, prefix+" ") {
+			return
+		}
 	}
 	t.Fatalf("metrics lack %q:\n%s", prefix, metrics)
 }

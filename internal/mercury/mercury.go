@@ -64,6 +64,55 @@ type Request struct {
 	From    string // caller address
 	Name    string // RPC name
 	Payload []byte
+
+	// defers collects response-flush callbacks (Request.Defer). serve owns
+	// the pointed-to context and recycles it after running the callbacks,
+	// so Defer must not be called after the handler returns.
+	defers *deferCtx
+}
+
+// Defer schedules fn to run after this request's response frame has been
+// handed to the transport. A handler whose side effect must not precede its
+// own response — the canonical case is a leave handler shutting the server
+// down — registers the effect here instead of racing a sleep against the
+// transport. fn runs synchronously on the serve goroutine once the response
+// Send has returned; on a zero-value Request (direct handler invocation in
+// tests) fn runs on its own goroutine immediately. Defer is only valid
+// during the handler invocation; do not retain the Request and call it
+// later.
+func (r Request) Defer(fn func()) {
+	if r.defers != nil {
+		r.defers.add(fn)
+		return
+	}
+	go fn()
+}
+
+// deferCtx is the per-request list behind Request.Defer. Instances are
+// pooled: one rides along every dispatched request, so allocating per
+// request would tax the stage hot path.
+type deferCtx struct {
+	mu  sync.Mutex
+	fns []func()
+}
+
+var deferPool = sync.Pool{New: func() any { return new(deferCtx) }}
+
+func (d *deferCtx) add(fn func()) {
+	d.mu.Lock()
+	d.fns = append(d.fns, fn)
+	d.mu.Unlock()
+}
+
+// run executes and clears the registered callbacks, in registration order.
+func (d *deferCtx) run() {
+	d.mu.Lock()
+	fns := d.fns
+	d.fns = nil
+	d.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
 }
 
 // Handler serves one RPC. The returned bytes become the response payload;
@@ -155,6 +204,10 @@ type Class struct {
 func (c *Class) SetObserver(r *obs.Registry) {
 	if r != nil {
 		c.obsReg.Store(r)
+		// Pre-create the response-loss counter so every metrics dump carries
+		// it (at zero): a response that failed to leave the endpoint must
+		// never be invisible just because the counter was never touched.
+		r.Counter("mercury.respond.send_errors")
 	}
 }
 
@@ -353,10 +406,12 @@ func (c *Class) serve(from string, id uint64, name string, payload []byte, h Han
 	start := reg.Now()
 	var status byte
 	var out []byte
+	var dc *deferCtx
 	if h == nil {
 		status = statusUnknownRPC
 	} else {
-		req := Request{From: from, Name: name, Payload: payload}
+		dc = deferPool.Get().(*deferCtx)
+		req := Request{From: from, Name: name, Payload: payload, defers: dc}
 		c.mu.RLock()
 		sh := c.serveHook
 		c.mu.RUnlock()
@@ -379,6 +434,12 @@ func (c *Class) serve(from string, id uint64, name string, payload []byte, h Han
 		m.errors.Inc()
 	}
 	c.respond(from, id, status, out)
+	if dc != nil {
+		// Response-flush contract: callbacks registered via Request.Defer
+		// run only after the response Send has returned.
+		dc.run()
+		deferPool.Put(dc)
+	}
 }
 
 // errorResponse maps a handler (or dispatcher) error to its wire status and
@@ -415,8 +476,13 @@ func (c *Class) respond(from string, id uint64, status byte, out []byte) {
 	binary.LittleEndian.PutUint64(frame[1:], id)
 	frame[9] = status
 	copy(frame[10:], out)
-	_ = c.ep.Send(from, frame)
+	err := c.ep.Send(from, frame)
 	bufpool.Put(frame)
+	if err != nil {
+		// The caller only ever sees a timeout when this happens; without the
+		// counter a dropped response leaves zero server-side trace.
+		c.observer().Counter("mercury.respond.send_errors").Inc()
+	}
 }
 
 // Close finalizes the class: the endpoint is closed and the progress loop
