@@ -28,6 +28,8 @@ cover:
 # Short smoke run of the fuzzers beyond their seed corpora.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParseLegacyImageData -fuzztime=10s ./internal/vtk/
+	$(GO) test -run=NONE -fuzz=FuzzCodecDecode -fuzztime=10s ./internal/codec/
+	$(GO) test -run=NONE -fuzz=FuzzStageFrameDecode -fuzztime=10s ./internal/core/
 
 # Zero-copy hot-path smoke: one racing pass over the micro-benchmarks
 # (correctness under -race), then the allocs/op regression gates in a pure

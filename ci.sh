@@ -22,8 +22,29 @@ check_cover() {
             }'
 }
 
+# The codec layer sits on the untrusted side of the wire (the server
+# decodes whatever a client staged), so it carries a stricter floor than
+# the general gate: every branch of every registered codec is expected to
+# be reachable from the conformance suite.
+check_codec_cover() {
+    floor=90
+    go test -cover ./internal/codec/ |
+        awk -v floor="$floor" '
+            /coverage:/ {
+                pct = $0
+                sub(/.*coverage: /, "", pct)
+                sub(/%.*/, "", pct)
+                printf "%-40s %s%%\n", $2, pct
+                if (pct + 0 < floor) { bad = 1 }
+            }
+            END {
+                if (bad) { print "codec coverage below " floor "% floor"; exit 1 }
+            }'
+}
+
 if [ "${1:-}" = "cover" ]; then
     check_cover
+    check_codec_cover
     exit 0
 fi
 
@@ -42,4 +63,11 @@ go test -count=1 -timeout 120s -run 'TestTCPCloseReapsAcceptedConns|TestOverload
 # the crash-free oracle's cumulative statistics exactly (replicated
 # checkpoints), and the no-replication control arm must document the loss.
 go test -race -count=1 -timeout 300s -run 'TestCrashRecovery' ./internal/e2e/
+# Compression gate: the chaos stage-retry ownership and recovery-vs-oracle
+# suites rerun with the wire codecs live (adaptive and forced-delta arms),
+# under -race — compressed frames must survive retry storms, crash
+# recovery, and delta-base invalidation with bit-identical payloads.
+go test -race -count=1 -timeout 300s \
+    -run 'TestChaosStageRetryBufferOwnership|TestCrashRecoveryMatchesOracleCompressed' ./internal/e2e/
 check_cover
+check_codec_cover

@@ -28,6 +28,7 @@ func main() {
 	out := flag.String("out", "", "also write results to this file")
 	csvDir := flag.String("csv", "", "also write each table as <dir>/<name>.csv")
 	benchJSON := flag.String("benchjson", "", "run the zero-copy micro-benchmarks and write the BENCH_3.json trajectory point to this path")
+	bench6JSON := flag.String("bench6json", "", "run the wire-compression micro-benchmarks and write the BENCH_6.json trajectory point to this path")
 	flag.Parse()
 
 	catalyst.Register()
@@ -43,9 +44,21 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *benchJSON)
-		if flag.NArg() == 0 {
-			return
+	}
+	if *bench6JSON != "" {
+		data, err := bench.CompressionTrajectoryJSON(*quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
+		if err := os.WriteFile(*bench6JSON, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *bench6JSON)
+	}
+	if (*benchJSON != "" || *bench6JSON != "") && flag.NArg() == 0 {
+		return
 	}
 
 	if *list {

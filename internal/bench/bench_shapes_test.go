@@ -236,8 +236,8 @@ func TestAblationsRun(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("%d experiments registered, want 18", len(all))
+	if len(all) != 19 {
+		t.Fatalf("%d experiments registered, want 19", len(all))
 	}
 	if _, err := Lookup("fig9"); err != nil {
 		t.Fatal(err)

@@ -497,6 +497,29 @@ func BenchStagePut(b *testing.B) {
 	}
 }
 
+// BenchStagePutCompressed measures the same stage hot path with the wire
+// codec forced to delta — the costliest client path: pooled XOR copy,
+// shuffle+RLE encode into a pooled wire buffer, base Remember — plus the
+// server-side decode and XOR reconstruction.
+func BenchStagePutCompressed(b *testing.B) {
+	h, img, cleanup, err := stagePutEnv()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cleanup()
+	if err := h.SetCodec("delta"); err != nil {
+		b.Fatal(err)
+	}
+	meta := core.BlockMeta{Field: "v", BlockID: 0, Type: "imagedata"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := stagePutOp(h, img, meta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // bulkPullEnv exposes a 1 MiB region on one endpoint and returns the
 // puller's class plus the handle.
 func bulkPullEnv() (puller *mercury.Class, bulk mercury.Bulk, cleanup func(), err error) {

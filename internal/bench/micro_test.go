@@ -10,9 +10,10 @@ import (
 // micro-benchmarks (make bench-smoke); the bodies live in micro.go so
 // colza-bench can run the same code for the BENCH_3.json trajectory.
 
-func BenchmarkStagePut(b *testing.B)        { BenchStagePut(b) }
-func BenchmarkBulkPull(b *testing.B)        { BenchBulkPull(b) }
-func BenchmarkCompositePooled(b *testing.B) { BenchCompositePooled(b) }
+func BenchmarkStagePut(b *testing.B)           { BenchStagePut(b) }
+func BenchmarkStagePutCompressed(b *testing.B) { BenchStagePutCompressed(b) }
+func BenchmarkBulkPull(b *testing.B)           { BenchBulkPull(b) }
+func BenchmarkCompositePooled(b *testing.B)    { BenchCompositePooled(b) }
 
 // Overload path: tiny stage pool vs parallel stagers (see saturation.go).
 func BenchmarkStageSaturation(b *testing.B) { BenchStageSaturation(b) }
@@ -26,6 +27,10 @@ const (
 	ceilStagePutAllocs  = 42.0 // >= 50% below the 85.0 baseline
 	ceilBulkPullAllocs  = 12.0 // baseline 21.0
 	ceilCompositeAllocs = 36.0 // baseline 48.0
+	// The delta-compressed stage path: raw-path RPC allocs plus the codec's
+	// pooled buffers (XOR scratch, wire frame, server decode target, base
+	// copies). Steady state stays pool-served; the headroom absorbs jitter.
+	ceilCompressedStageAllocs = 60.0
 )
 
 // skipUnderRace: the race detector's instrumentation allocates on its own,
@@ -57,6 +62,40 @@ func TestStagePutAllocsCeiling(t *testing.T) {
 	}
 	if allocs > BaselineStagePutAllocs/2 {
 		t.Errorf("stage put allocs/op = %.1f, not >= 50%% below the %.1f baseline", allocs, BaselineStagePutAllocs)
+	}
+}
+
+// TestCompressedStagePutAllocsCeiling holds the delta-compressed stage path
+// to a pooled-steady-state allocation budget. The compressed path adds an
+// XOR scratch copy, the wire-encode buffer, and the Remember base — all
+// bufpool-recycled — on top of the raw path, so its ceiling sits above
+// ceilStagePutAllocs but must stay bounded: an unpooled buffer anywhere in
+// the codec plumbing shows up here as O(10) extra allocs/op.
+func TestCompressedStagePutAllocsCeiling(t *testing.T) {
+	skipUnderRace(t)
+	h, img, cleanup, err := stagePutEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	if err := h.SetCodec("delta"); err != nil {
+		t.Fatal(err)
+	}
+	meta := core.BlockMeta{Field: "v", BlockID: 0, Type: "imagedata"}
+	// Warm the pools and the delta base history before measuring.
+	for i := 0; i < 5; i++ {
+		if err := stagePutOp(h, img, meta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := stagePutOp(h, img, meta); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("compressed stage put: %.1f allocs/op (ceiling %.1f)", allocs, ceilCompressedStageAllocs)
+	if allocs > ceilCompressedStageAllocs {
+		t.Errorf("compressed stage put allocs/op = %.1f, ceiling %.1f", allocs, ceilCompressedStageAllocs)
 	}
 }
 

@@ -33,6 +33,7 @@ func All() []Experiment {
 		{"ext-autoscale", "extension: autoscaled DWI run (paper future work 2)", ExtAutoscale},
 		{"ext-shm", "extension: shared-memory vs cross-node MoNA (paper footnote 12)", ExtSharedMemory},
 		{"micro", "zero-copy hot path: allocs/op trajectory (BENCH_3)", MicroZeroCopy},
+		{"compress", "stage wire compression: codec ratios and adaptive reduction (BENCH_6)", MicroCompression},
 	}
 }
 

@@ -1,0 +1,150 @@
+package codec
+
+import "sync"
+
+// Selector is the per-pipeline adaptive controller. It watches each staged
+// block — uncompressed size, wire size, encode CPU, and the observed stage
+// RPC time — and picks whichever candidate codec minimizes the estimated
+// cost of moving one MB:
+//
+//	cost(c) = encodeNsPerMB(c) + ratio(c) * linkNsPerMB
+//
+// where ratio is the codec's observed wire/uncompressed ratio and
+// linkNsPerMB is an EWMA of wire throughput measured from stage RPC
+// durations. On a link faster than the codec the ratio term cannot buy back
+// the encode term and raw (encode cost ~0, ratio 1) wins naturally; on a
+// slow link any codec with ratio < 1 pulls ahead. Until a candidate has
+// samples the selector probes it (and re-probes every probeEvery ops) so
+// estimates track the data as the simulation evolves.
+type Selector struct {
+	mu          sync.Mutex
+	candidates  []Codec
+	ops         uint64
+	linkNsPerMB float64 // EWMA, 0 until first measurement
+	stats       map[uint8]*codecStat
+}
+
+type codecStat struct {
+	ratio      float64 // EWMA wire/uncompressed
+	encNsPerMB float64 // EWMA
+	samples    int
+}
+
+const (
+	probeEvery    = 16       // re-probe cadence per candidate
+	ewmaAlpha     = 0.3      // weight of the newest sample
+	linkMinSample = 64 << 10 // ignore link timing from tiny payloads
+)
+
+// NewSelector returns a Selector choosing among codecs. Raw is always an
+// implicit candidate: it is the fallback cost baseline.
+func NewSelector(codecs []Codec) *Selector {
+	s := &Selector{stats: map[uint8]*codecStat{}}
+	s.SetCandidates(codecs)
+	return s
+}
+
+// SetCandidates replaces the candidate set (e.g. after per-link negotiation
+// at activate). Accumulated statistics for retained codecs are kept.
+func (s *Selector) SetCandidates(codecs []Codec) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.candidates = s.candidates[:0]
+	hasRaw := false
+	for _, c := range codecs {
+		if c.ID() == RawID {
+			hasRaw = true
+		}
+		s.candidates = append(s.candidates, c)
+	}
+	if !hasRaw {
+		s.candidates = append(s.candidates, Raw{})
+	}
+}
+
+// Pick returns the codec to use for the next block. Unsampled candidates
+// are probed first; otherwise every probeEvery-th op round-robins through
+// the candidates to keep estimates fresh, and the rest pick the argmin of
+// the cost model.
+func (s *Selector) Pick() Codec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ops++
+	for _, c := range s.candidates {
+		st := s.stats[c.ID()]
+		if st == nil || st.samples == 0 {
+			return c
+		}
+	}
+	if len(s.candidates) > 1 && s.ops%probeEvery == 0 {
+		return s.candidates[int(s.ops/probeEvery)%len(s.candidates)]
+	}
+	best := s.candidates[0]
+	bestCost := s.costLocked(best)
+	for _, c := range s.candidates[1:] {
+		if cost := s.costLocked(c); cost < bestCost {
+			best, bestCost = c, cost
+		}
+	}
+	return best
+}
+
+func (s *Selector) costLocked(c Codec) float64 {
+	st := s.stats[c.ID()]
+	if st == nil || st.samples == 0 {
+		return 0 // unsampled: maximally attractive, forces a probe
+	}
+	link := s.linkNsPerMB
+	if link == 0 {
+		// No link estimate yet: assume a fast link so compression has to
+		// prove itself before it is allowed to burn CPU.
+		link = 1e6 // 1 ms/MB ≈ 1 GB/s
+	}
+	return st.encNsPerMB + st.ratio*link
+}
+
+// Record feeds back one staged block: c compressed uncompressed bytes down
+// to wire bytes in encNs of CPU, and the stage RPC (dominated by the bulk
+// pull of wire bytes) took rpcNs.
+func (s *Selector) Record(c Codec, uncompressed, wire int, encNs, rpcNs int64) {
+	if uncompressed <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats[c.ID()]
+	if st == nil {
+		st = &codecStat{}
+		s.stats[c.ID()] = st
+	}
+	mb := float64(uncompressed) / (1 << 20)
+	ratio := float64(wire) / float64(uncompressed)
+	encPerMB := float64(encNs) / mb
+	if st.samples == 0 {
+		st.ratio, st.encNsPerMB = ratio, encPerMB
+	} else {
+		st.ratio += ewmaAlpha * (ratio - st.ratio)
+		st.encNsPerMB += ewmaAlpha * (encPerMB - st.encNsPerMB)
+	}
+	st.samples++
+	if rpcNs > 0 && wire >= linkMinSample {
+		wireMB := float64(wire) / (1 << 20)
+		linkPerMB := float64(rpcNs) / wireMB
+		if s.linkNsPerMB == 0 {
+			s.linkNsPerMB = linkPerMB
+		} else {
+			s.linkNsPerMB += ewmaAlpha * (linkPerMB - s.linkNsPerMB)
+		}
+	}
+}
+
+// Snapshot reports the current estimates for codec c (zeros if unsampled)
+// and the link EWMA, for metrics export.
+func (s *Selector) Snapshot(c Codec) (ratio, encNsPerMB, linkNsPerMB float64, samples int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st := s.stats[c.ID()]; st != nil {
+		ratio, encNsPerMB, samples = st.ratio, st.encNsPerMB, st.samples
+	}
+	return ratio, encNsPerMB, s.linkNsPerMB, samples
+}

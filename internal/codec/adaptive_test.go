@@ -1,0 +1,155 @@
+package codec
+
+import "testing"
+
+// feed records n identical samples for c.
+func feed(s *Selector, c Codec, uncompressed, wire int, encNs, rpcNs int64, n int) {
+	for i := 0; i < n; i++ {
+		s.Record(c, uncompressed, wire, encNs, rpcNs)
+	}
+}
+
+// TestSelectorProbesUnsampledFirst: before any statistics exist every
+// candidate must get probed once, in order.
+func TestSelectorProbesUnsampledFirst(t *testing.T) {
+	s := NewSelector([]Codec{Raw{}, Shuffle{}, Delta{}})
+	seen := map[uint8]bool{}
+	for i := 0; i < 3; i++ {
+		c := s.Pick()
+		if seen[c.ID()] {
+			t.Fatalf("probe %d repeated codec %s before covering all candidates", i, c.Name())
+		}
+		seen[c.ID()] = true
+		s.Record(c, 1<<20, 1<<20, 1000, 0)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("probed %d of 3 candidates", len(seen))
+	}
+}
+
+// TestSelectorRawWinsOnFastLink: when the link moves bytes faster than the
+// codec saves them, the cost model must settle on raw.
+func TestSelectorRawWinsOnFastLink(t *testing.T) {
+	s := NewSelector([]Codec{Raw{}, Shuffle{}})
+	const mb = 1 << 20
+	// Fast link: 1 MB wire in 100µs (10 GB/s). Shuffle halves the bytes but
+	// burns 5ms/MB of CPU — a loss on this link.
+	feed(s, Raw{}, mb, mb, 0, 100_000, 4)
+	feed(s, Shuffle{}, mb, mb/2, 5_000_000, 50_000, 4)
+	raw := 0
+	for i := 0; i < 100; i++ {
+		c := s.Pick()
+		if c.ID() == RawID {
+			raw++
+		}
+		// Keep stats steady so probes don't drift the estimates.
+		if c.ID() == RawID {
+			s.Record(c, mb, mb, 0, 100_000)
+		} else {
+			s.Record(c, mb, mb/2, 5_000_000, 50_000)
+		}
+	}
+	if raw < 90 {
+		t.Fatalf("raw picked %d/100 on a fast link", raw)
+	}
+}
+
+// TestSelectorCompressionWinsOnSlowLink: on a slow link the ratio term
+// dominates and the compressing codec must win.
+func TestSelectorCompressionWinsOnSlowLink(t *testing.T) {
+	s := NewSelector([]Codec{Raw{}, Shuffle{}})
+	const mb = 1 << 20
+	// Slow link: 1 MB wire in 100ms (10 MB/s). Shuffle's 5ms/MB encode buys
+	// back 50ms of wire time.
+	feed(s, Raw{}, mb, mb, 0, 100_000_000, 4)
+	feed(s, Shuffle{}, mb, mb/2, 5_000_000, 50_000_000, 4)
+	shuffle := 0
+	for i := 0; i < 100; i++ {
+		c := s.Pick()
+		if c.ID() == ShuffleID {
+			shuffle++
+			s.Record(c, mb, mb/2, 5_000_000, 50_000_000)
+		} else {
+			s.Record(c, mb, mb, 0, 100_000_000)
+		}
+	}
+	if shuffle < 90 {
+		t.Fatalf("shuffle picked %d/100 on a slow link", shuffle)
+	}
+}
+
+// TestSelectorPeriodicProbe: even with a settled winner, the probeEvery
+// cadence must still sample the losers so estimates can recover.
+func TestSelectorPeriodicProbe(t *testing.T) {
+	s := NewSelector([]Codec{Raw{}, Shuffle{}})
+	const mb = 1 << 20
+	feed(s, Raw{}, mb, mb, 0, 100_000, 4)
+	feed(s, Shuffle{}, mb, mb/2, 50_000_000, 100_000, 4) // hopeless codec
+	picked := map[uint8]int{}
+	for i := 0; i < 64; i++ {
+		c := s.Pick()
+		picked[c.ID()]++
+		if c.ID() == RawID {
+			s.Record(c, mb, mb, 0, 100_000)
+		} else {
+			s.Record(c, mb, mb/2, 50_000_000, 100_000)
+		}
+	}
+	if picked[ShuffleID] == 0 {
+		t.Fatal("losing codec never re-probed")
+	}
+	if picked[ShuffleID] > 8 {
+		t.Fatalf("losing codec picked %d/64 — probing too often", picked[ShuffleID])
+	}
+}
+
+// TestSelectorRawAlwaysCandidate: SetCandidates without raw must add it.
+func TestSelectorRawAlwaysCandidate(t *testing.T) {
+	s := NewSelector([]Codec{Shuffle{}})
+	ids := map[uint8]bool{}
+	for i := 0; i < 2; i++ {
+		c := s.Pick()
+		ids[c.ID()] = true
+		s.Record(c, 1<<20, 1<<20, 0, 0)
+	}
+	if !ids[RawID] || !ids[ShuffleID] {
+		t.Fatalf("candidates probed: %v", ids)
+	}
+	// Narrowing after negotiation keeps retained stats but drops the codec.
+	s.SetCandidates([]Codec{Raw{}})
+	for i := 0; i < 40; i++ {
+		if c := s.Pick(); c.ID() != RawID {
+			t.Fatalf("dropped candidate %s still picked", c.Name())
+		}
+	}
+}
+
+// TestSelectorSnapshotAndLinkEWMA: Snapshot reports what Record fed in;
+// tiny payloads must not pollute the link estimate.
+func TestSelectorSnapshotAndLinkEWMA(t *testing.T) {
+	s := NewSelector([]Codec{Raw{}})
+	if ratio, enc, link, n := s.Snapshot(Raw{}); ratio != 0 || enc != 0 || link != 0 || n != 0 {
+		t.Fatal("fresh selector should report zeros")
+	}
+	const mb = 1 << 20
+	s.Record(Raw{}, mb, mb, 2_000_000, 10_000_000)
+	ratio, enc, link, n := s.Snapshot(Raw{})
+	if n != 1 || ratio != 1.0 || enc != 2_000_000 || link != 10_000_000 {
+		t.Fatalf("snapshot after one sample: ratio=%v enc=%v link=%v n=%d", ratio, enc, link, n)
+	}
+	// A 1 KiB payload is below linkMinSample: ratio/enc update, link must not.
+	s.Record(Raw{}, 1024, 1024, 0, 1)
+	if _, _, link2, _ := s.Snapshot(Raw{}); link2 != link {
+		t.Fatalf("tiny payload moved link estimate: %v -> %v", link, link2)
+	}
+	// Zero rpcNs (no timing) must not move the link either.
+	s.Record(Raw{}, mb, mb, 0, 0)
+	if _, _, link3, _ := s.Snapshot(Raw{}); link3 != link {
+		t.Fatal("zero rpcNs moved link estimate")
+	}
+	// Zero-length blocks are ignored entirely.
+	s.Record(Raw{}, 0, 0, 0, 0)
+	if _, _, _, n4 := s.Snapshot(Raw{}); n4 != 3 {
+		t.Fatalf("zero-length block counted: n=%d", n4)
+	}
+}

@@ -1,0 +1,110 @@
+package codec
+
+import (
+	"compress/flate"
+	"io"
+	"sync"
+)
+
+// Flate wraps stdlib DEFLATE at BestSpeed. It is the general-purpose entry
+// in the registry: slower than Shuffle on float grids but stronger on mixed
+// or byte-oriented payloads. Writers and readers are pooled and Reset so
+// steady-state encoding touches no allocator beyond the pools.
+type Flate struct {
+	writers sync.Pool // *flate.Writer
+	readers sync.Pool // io.ReadCloser with flate.Resetter
+}
+
+func (*Flate) ID() uint8    { return FlateID }
+func (*Flate) Name() string { return "flate" }
+
+// MaxEncodedSize: DEFLATE stored-block overhead is 5 bytes per 65535-byte
+// block, plus stream header/trailer slack.
+func (*Flate) MaxEncodedSize(n int) int { return n + 5*(n/65535+1) + 16 }
+
+// sliceWriter appends everything written to it onto buf.
+type sliceWriter struct{ buf []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+func (f *Flate) Encode(dst, src []byte) ([]byte, error) {
+	sw := &sliceWriter{buf: dst}
+	var zw *flate.Writer
+	if v := f.writers.Get(); v != nil {
+		zw = v.(*flate.Writer)
+		zw.Reset(sw)
+	} else {
+		zw, _ = flate.NewWriter(sw, flate.BestSpeed)
+	}
+	if _, err := zw.Write(src); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	f.writers.Put(zw)
+	return sw.buf, nil
+}
+
+// byteReader serves src without the allocation of bytes.NewReader and
+// implements io.ByteReader so flate skips its internal bufio wrapper.
+type byteReader struct {
+	src []byte
+	off int
+}
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.src) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.src[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func (r *byteReader) ReadByte() (byte, error) {
+	if r.off >= len(r.src) {
+		return 0, io.EOF
+	}
+	b := r.src[r.off]
+	r.off++
+	return b, nil
+}
+
+func (f *Flate) Decode(dst, src []byte, srcLen int) ([]byte, error) {
+	br := &byteReader{src: src}
+	var zr io.ReadCloser
+	if v := f.readers.Get(); v != nil {
+		zr = v.(io.ReadCloser)
+		zr.(flate.Resetter).Reset(br, nil)
+	} else {
+		zr = flate.NewReader(br)
+	}
+	// Read exactly srcLen bytes into the grown tail of dst, then require a
+	// clean EOF — extra or missing data is corruption, not silence.
+	base := len(dst)
+	for cap(dst)-len(dst) < srcLen {
+		dst = append(dst[:cap(dst)], 0)
+	}
+	dst = dst[:base+srcLen]
+	if _, err := io.ReadFull(zr, dst[base:]); err != nil {
+		return nil, ErrCorrupt
+	}
+	var one [1]byte
+	if n, err := zr.Read(one[:]); n != 0 || err != io.EOF {
+		return nil, ErrCorrupt
+	}
+	if err := zr.Close(); err != nil {
+		return nil, ErrCorrupt
+	}
+	// The DEFLATE reader consumes exactly the stream (it pulls byte-at-a-time
+	// through the ByteReader), so unread source bytes are trailing garbage.
+	if br.off != len(src) {
+		return nil, ErrCorrupt
+	}
+	f.readers.Put(zr)
+	return dst, nil
+}

@@ -319,6 +319,9 @@ func (p *Provider) recoverOrphans(slot *pipelineSlot, view MemberView) {
 			reg.Counter("core.state.checkpoint.errors").Inc()
 			continue
 		}
+		// Recovery rewrites the pipeline's history: remembered delta bases
+		// no longer describe what the instance holds, so drop them.
+		p.deltas.InvalidatePipeline(slot.name)
 		reg.Counter("core.state.recover.count", "pipeline", slot.name).Inc()
 		p.dropCkpt(o.key)
 	}

@@ -12,6 +12,7 @@ import (
 
 	"colza/internal/bufpool"
 	"colza/internal/margo"
+	"colza/internal/mercury"
 	"colza/internal/obs"
 )
 
@@ -149,7 +150,7 @@ func (c *Client) serverInfo(rpcAddr string, timeout time.Duration) (ServerInfo, 
 	if err := json.Unmarshal(raw, &im); err != nil {
 		return ServerInfo{}, err
 	}
-	si := ServerInfo{RPC: im.RPC, Mona: im.Mona}
+	si := ServerInfo{RPC: im.RPC, Mona: im.Mona, Codecs: im.Codecs}
 	c.mu.Lock()
 	c.infoCache[rpcAddr] = si
 	c.mu.Unlock()
@@ -255,6 +256,8 @@ type DistributedPipelineHandle struct {
 	stageRetry RetryPolicy
 	viewRetry  RetryPolicy
 	rng        *rand.Rand
+
+	codec stageCodecState
 }
 
 // Handle creates a distributed handle on pipeline, using contact (any
@@ -299,6 +302,21 @@ func (h *DistributedPipelineHandle) SetRetrySeed(seed int64) {
 	h.mu.Lock()
 	h.rng = rand.New(rand.NewSource(seed))
 	h.mu.Unlock()
+}
+
+// SetCodec forces every staged block through the named codec ("raw",
+// "flate", "shuffle", "delta"), subject to what the pinned view's servers
+// accept. The default is raw: compression is strictly opt-in so the
+// alloc-free raw stage path is untouched.
+func (h *DistributedPipelineHandle) SetCodec(name string) error {
+	return h.codec.setCodec(name)
+}
+
+// SetCodecAdaptive lets the per-pipeline controller choose the codec per
+// block from the negotiated set, balancing encode CPU against measured
+// link throughput (see codec.Selector). Overrides any forced codec.
+func (h *DistributedPipelineHandle) SetCodecAdaptive(on bool) {
+	h.codec.setAdaptive(on)
 }
 
 // backoff computes the jittered sleep before retry attempt k under rp.
@@ -349,6 +367,7 @@ func (h *DistributedPipelineHandle) SetView(v MemberView) {
 	h.mu.Lock()
 	h.view = v
 	h.mu.Unlock()
+	h.codec.negotiate(h.pipeline, v.Members)
 }
 
 // Pipeline returns the pipeline name.
@@ -449,6 +468,7 @@ func (h *DistributedPipelineHandle) Activate(it uint64) (view_ MemberView, err_ 
 			h.mu.Lock()
 			h.view = view
 			h.mu.Unlock()
+			h.codec.negotiate(h.pipeline, view.Members)
 			return view, nil
 		} else if err != nil {
 			lastErr = err
@@ -537,12 +557,36 @@ func (h *DistributedPipelineHandle) Stage(it uint64, meta BlockMeta, data []byte
 		return fmt.Errorf("colza: placement selected invalid rank %d", target)
 	}
 	cls := h.c.mi.Class()
-	bulk := cls.Expose(data)
-	defer cls.Release(bulk)
-	// Binary stage frame in a pooled buffer (see stagewire.go); recycled
-	// after the retry loop since h.c.call is synchronous per attempt.
-	payload := appendStageMsg(bufpool.Get(stageMsgSize(h.pipeline, meta, bulk))[:0], h.pipeline, it, meta, bulk)
-	defer bufpool.Put(payload)
+	// With no codec engaged wire IS data (raw passthrough, nothing pooled);
+	// otherwise the block is compressed into a pooled buffer and the bulk
+	// handle exposes the encoded bytes — the server's pull carries the
+	// compressed payload.
+	var (
+		wire       []byte
+		pooledWire bool
+		ci         stageCodecInfo
+		used       codecUsed
+		bulk       = mercury.Bulk{}
+		payload    []byte
+	)
+	setup := func(zeroBase bool) {
+		if h.codec.enabled() {
+			wire, pooledWire, ci, used.c, used.encNs = h.codec.encodeStage(h.pipeline, it, meta, data, zeroBase)
+		} else {
+			wire, pooledWire, ci, used.c, used.encNs = data, false, stageCodecInfo{Uncompressed: uint64(len(data))}, nil, 0
+		}
+		bulk = cls.Expose(wire)
+		payload = appendStageMsg(bufpool.Get(stageMsgSize(h.pipeline, meta, bulk))[:0], h.pipeline, it, meta, ci, bulk)
+	}
+	teardown := func() {
+		cls.Release(bulk)
+		bufpool.Put(payload)
+		if pooledWire {
+			bufpool.Put(wire)
+		}
+	}
+	setup(false)
+	defer func() { teardown() }()
 	var err error
 	for attempt := 0; attempt < retry.attempts(); attempt++ {
 		if attempt > 0 {
@@ -555,11 +599,24 @@ func (h *DistributedPipelineHandle) Stage(it uint64, meta BlockMeta, data []byte
 			}
 			time.Sleep(sleep)
 		}
+		start := time.Now()
 		_, err = h.c.call(view.Members[target].RPC, "stage", payload, timeout)
 		if err == nil {
+			h.codec.recordSuccess(reg, h.pipeline, it, meta, data, ci, used.c, len(wire), used.encNs, time.Since(start).Nanoseconds())
 			reg.Counter("colza.stage.bytes", "pipeline", h.pipeline).Add(int64(len(data)))
 			reg.Counter("colza.stage.blocks", "pipeline", h.pipeline).Inc()
 			return nil
+		}
+		if isDeltaBaseMismatch(err) && ci.HasBase {
+			// The server no longer holds our base (evicted, invalidated, or a
+			// duplicate of this block already advanced it). Re-encode
+			// self-contained and keep retrying — at-least-once staging may
+			// cost a fallback round-trip but never decodes against wrong
+			// state.
+			reg.Counter("codec.delta.fallback", "pipeline", h.pipeline).Inc()
+			teardown()
+			setup(true)
+			continue
 		}
 		if !Retryable(err) {
 			break

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"colza/internal/bufpool"
+	"colza/internal/codec"
 	"colza/internal/margo"
 	"colza/internal/mercury"
 	"colza/internal/mona"
@@ -62,8 +63,9 @@ type nameMsg struct {
 	Name string `json:"n"`
 }
 type infoMsg struct {
-	RPC  string `json:"rpc"`
-	Mona string `json:"mona"`
+	RPC    string  `json:"rpc"`
+	Mona   string  `json:"mona"`
+	Codecs []uint8 `json:"codecs,omitempty"` // stage codecs this server accepts
 }
 type membersMsg struct {
 	Members []string `json:"m"`
@@ -99,9 +101,10 @@ type pipelineSlot struct {
 	name    string
 	backend Backend
 
-	mu       sync.Mutex
-	prepared *preparedState
-	active   *activeState
+	mu          sync.Mutex
+	prepared    *preparedState
+	active      *activeState
+	lastMembers string // member key of the last committed view (delta invalidation)
 }
 
 // Provider hosts pipelines on one staging server and reacts to membership
@@ -129,6 +132,17 @@ type Provider struct {
 	ckptMu       sync.Mutex
 	ckpts        map[ckptKey]*ckptEntry
 	sentReplicas map[string][]string
+
+	// Stage compression (DESIGN.md §10): which codecs this server accepts
+	// (and advertises via info), the per-(pipeline, field, block) delta
+	// bases remembered for temporal encoding, and the per-codec wire/decode
+	// byte counters cached so the stage hot path increments them without a
+	// labeled-lookup allocation.
+	codecMu        sync.RWMutex
+	acceptedCodecs map[uint8]bool
+	codecIn        map[uint8]*obs.Counter
+	codecOut       map[uint8]*obs.Counter
+	deltas         *codec.DeltaState
 }
 
 // SetObserver routes this provider's metrics and spans (and the Margo
@@ -148,6 +162,18 @@ func (p *Provider) SetObserver(r *obs.Registry) {
 	r.Counter("core.state.checkpoint.errors")
 	r.Counter("core.state.recover.count")
 	r.Gauge("core.state.replica.lag")
+	// Pre-create the per-codec wire counters (server side: bytes.in is wire
+	// bytes pulled, bytes.out is decoded bytes handed to the backend) and
+	// cache the instruments so handleStage bumps them allocation-free.
+	in := make(map[uint8]*obs.Counter)
+	out := make(map[uint8]*obs.Counter)
+	for _, c := range codec.All() {
+		in[c.ID()] = r.Counter("codec.bytes.in", "codec", c.Name())
+		out[c.ID()] = r.Counter("codec.bytes.out", "codec", c.Name())
+	}
+	p.codecMu.Lock()
+	p.codecIn, p.codecOut = in, out
+	p.codecMu.Unlock()
 }
 
 func (p *Provider) observer() *obs.Registry {
@@ -168,7 +194,9 @@ func NewProvider(mi *margo.Instance, mn *mona.Instance, group *ssg.Group) *Provi
 		stateReplicas: 1,
 		ckpts:         make(map[ckptKey]*ckptEntry),
 		sentReplicas:  make(map[string][]string),
+		deltas:        codec.NewDeltaState(0),
 	}
+	p.SetAcceptedCodecs(codec.IDs())
 	mi.RegisterProviderRPC(ProviderID, "prepare", p.handlePrepare)
 	mi.RegisterProviderRPC(ProviderID, "commit", p.handleCommit)
 	mi.RegisterProviderRPC(ProviderID, "abort", p.handleAbort)
@@ -224,9 +252,35 @@ func (p *Provider) BindPools(control, data *margo.Pool) {
 	}
 }
 
-// Info returns this server's address pair.
+// Info returns this server's address pair and advertised codec set.
 func (p *Provider) Info() ServerInfo {
-	return ServerInfo{RPC: p.mi.Addr(), Mona: p.mn.Addr()}
+	return ServerInfo{RPC: p.mi.Addr(), Mona: p.mn.Addr(), Codecs: p.AcceptedCodecs()}
+}
+
+// SetAcceptedCodecs restricts which stage codecs this server accepts and
+// advertises. Raw is always included — it is the universal fallback. The
+// default (set at construction) is every registered codec.
+func (p *Provider) SetAcceptedCodecs(ids []uint8) {
+	m := map[uint8]bool{codec.RawID: true}
+	for _, id := range ids {
+		m[id] = true
+	}
+	p.codecMu.Lock()
+	p.acceptedCodecs = m
+	p.codecMu.Unlock()
+}
+
+// AcceptedCodecs lists the accepted codec IDs, ascending.
+func (p *Provider) AcceptedCodecs() []uint8 {
+	p.codecMu.RLock()
+	defer p.codecMu.RUnlock()
+	out := make([]uint8, 0, len(p.acceptedCodecs))
+	for _, id := range codec.IDs() {
+		if p.acceptedCodecs[id] {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // OnLeave registers a callback fired once the server has left the group
@@ -404,6 +458,15 @@ func (p *Provider) handleCommit(req mercury.Request) ([]byte, error) {
 		Comm:      c,
 		View:      st.view,
 	}
+	// A membership change re-routes block placement: delta bases remembered
+	// under the previous view describe blocks that may now land elsewhere,
+	// so they must not survive into this iteration (invalidation matrix,
+	// DESIGN.md §10).
+	memberKey := viewMemberKey(st.view)
+	if slot.lastMembers != "" && slot.lastMembers != memberKey {
+		p.deltas.InvalidatePipeline(slot.name)
+	}
+	slot.lastMembers = memberKey
 	// Before the instance starts the iteration, re-seed any orphaned
 	// checkpoints: state whose origin server fell out of the committed
 	// view, because it crashed or its leave-time migration was lost.
@@ -441,11 +504,22 @@ func (p *Provider) handleAbort(req mercury.Request) ([]byte, error) {
 }
 
 // handleStage pulls the staged block from the simulation's memory (bulk
-// RDMA) and hands it to the pipeline.
+// RDMA) and hands it to the pipeline. The pull carries whatever the client
+// exposed — for a compressed frame that is the encoded payload, which is
+// decoded (and delta-reconstructed) into a second pooled buffer here before
+// the backend borrows it.
 func (p *Provider) handleStage(req mercury.Request) ([]byte, error) {
-	pipeline, iteration, meta, bulk, err := decodeStageMsg(req.Payload)
+	pipeline, iteration, meta, ci, bulk, err := decodeStageMsg(req.Payload)
 	if err != nil {
 		return nil, err
+	}
+	p.codecMu.RLock()
+	accepted := p.acceptedCodecs[ci.CodecID]
+	ctrIn, ctrOut := p.codecIn[ci.CodecID], p.codecOut[ci.CodecID]
+	p.codecMu.RUnlock()
+	c, known := codec.ByID(ci.CodecID)
+	if !known || !accepted {
+		return nil, fmt.Errorf("colza: stage codec %d not accepted by %s", ci.CodecID, p.mi.Addr())
 	}
 	slot, err := p.slot(pipeline)
 	if err != nil {
@@ -469,12 +543,56 @@ func (p *Provider) handleStage(req mercury.Request) ([]byte, error) {
 		sp.End(err)
 		return nil, err
 	}
+	wireLen := len(data)
+	if ci.CodecID == codec.RawID {
+		// Raw frames pass the pulled buffer straight through; the claimed
+		// uncompressed length must agree with what was actually pulled.
+		if ci.Uncompressed != uint64(len(data)) || ci.HasBase {
+			bufpool.Put(data)
+			err = fmt.Errorf("%w: raw frame length mismatch", ErrStageWire)
+			sp.End(err)
+			return nil, err
+		}
+	} else {
+		buf := bufpool.Get(int(ci.Uncompressed))
+		dec, derr := c.Decode(buf[:0], data, int(ci.Uncompressed))
+		bufpool.Put(data)
+		if derr != nil {
+			bufpool.Put(buf)
+			err = fmt.Errorf("colza: stage decode (%s): %w", c.Name(), derr)
+			sp.End(err)
+			return nil, err
+		}
+		data = dec
+		if ci.HasBase {
+			// The payload is an XOR against a specific prior iteration; it
+			// only reconstructs correctly against exactly that base. A miss
+			// (evicted, invalidated, or advanced by a duplicate) is reported
+			// to the client, which falls back to a self-contained resend —
+			// never a silent wrong-bytes decode.
+			key := codec.DeltaKey{Pipeline: pipeline, Field: meta.Field, Block: meta.BlockID}
+			if !p.deltas.XORBase(key, ci.DeltaBase, data) {
+				bufpool.Put(data)
+				reg.Counter("codec.delta.mismatch", "pipeline", pipeline).Inc()
+				err = fmt.Errorf("%s: pipeline %q block %d base %d", deltaMismatchText, pipeline, meta.BlockID, ci.DeltaBase)
+				sp.End(err)
+				return nil, err
+			}
+		}
+	}
+	if ci.Remember {
+		p.deltas.Remember(codec.DeltaKey{Pipeline: pipeline, Field: meta.Field, Block: meta.BlockID}, iteration, data)
+	}
 	err = slot.backend.Stage(iteration, meta, data)
 	n := len(data)
 	bufpool.Put(data)
 	if err != nil {
 		sp.End(err)
 		return nil, err
+	}
+	if ctrIn != nil {
+		ctrIn.Add(int64(wireLen))
+		ctrOut.Add(int64(n))
 	}
 	reg.Counter("colza.staged.bytes", "pipeline", pipeline).Add(int64(n))
 	reg.Counter("colza.staged.blocks", "pipeline", pipeline).Inc()
@@ -587,7 +705,7 @@ func (p *Provider) handleMembers(req mercury.Request) ([]byte, error) {
 }
 
 func (p *Provider) handleInfo(req mercury.Request) ([]byte, error) {
-	return json.Marshal(infoMsg{RPC: p.mi.Addr(), Mona: p.mn.Addr()})
+	return json.Marshal(infoMsg{RPC: p.mi.Addr(), Mona: p.mn.Addr(), Codecs: p.AcceptedCodecs()})
 }
 
 func (p *Provider) handleCreatePipeline(req mercury.Request) ([]byte, error) {
@@ -800,7 +918,22 @@ func (p *Provider) handleMigrateState(req mercury.Request) ([]byte, error) {
 	if err := sb.ImportState(msg.State); err != nil {
 		return nil, err
 	}
+	// Imported state changes the pipeline's block history out from under any
+	// remembered delta bases; drop them so the next delta stage falls back
+	// to a self-contained frame instead of XORing against the wrong past.
+	p.deltas.InvalidatePipeline(msg.Pipeline)
 	return []byte("ok"), nil
+}
+
+// viewMemberKey flattens a view's member RPC addresses (already in rank
+// order) into a comparable key for membership-change detection.
+func viewMemberKey(v MemberView) string {
+	var b bytes.Buffer
+	for _, m := range v.Members {
+		b.WriteString(m.RPC)
+		b.WriteByte(',')
+	}
+	return b.String()
 }
 
 // sameRPCSet reports whether the view's RPC addresses equal the given

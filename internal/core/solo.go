@@ -41,6 +41,11 @@ func (p *Provider) handleActivateSolo(req mercury.Request) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %q", ErrBusy, msg.Pipeline)
 	}
 	view := MemberView{Epoch: msg.Epoch, Members: []ServerInfo{p.Info()}}
+	memberKey := viewMemberKey(view)
+	if slot.lastMembers != "" && slot.lastMembers != memberKey {
+		p.deltas.InvalidatePipeline(slot.name)
+	}
+	slot.lastMembers = memberKey
 	c, err := p.mn.CreateComm(CommID(msg.Pipeline, msg.Epoch), []string{p.mn.Addr()})
 	if err != nil {
 		return nil, fmt.Errorf("colza: creating solo communicator: %w", err)
@@ -75,6 +80,8 @@ type PipelineHandle struct {
 	mu      sync.Mutex
 	timeout time.Duration
 	epoch   uint64
+
+	codec stageCodecState
 }
 
 // SoloHandle creates a handle on the pipeline instance at one server.
@@ -103,20 +110,55 @@ func (h *PipelineHandle) Activate(it uint64) error {
 	return err
 }
 
+// SetCodec forces every staged block through the named codec; the default
+// is raw (no compression, no copies).
+func (h *PipelineHandle) SetCodec(name string) error { return h.codec.setCodec(name) }
+
+// SetCodecAdaptive lets the adaptive controller pick the codec per block.
+func (h *PipelineHandle) SetCodecAdaptive(on bool) { h.codec.setAdaptive(on) }
+
 // Stage exposes data for the server to pull.
 func (h *PipelineHandle) Stage(it uint64, meta BlockMeta, data []byte) error {
 	h.mu.Lock()
 	timeout := h.timeout
 	h.mu.Unlock()
 	cls := h.c.mi.Class()
-	bulk := cls.Expose(data)
-	defer cls.Release(bulk)
-	// The stage frame is binary (see stagewire.go) and pooled: CallProvider
-	// is synchronous and the transport copies on send, so the frame can be
-	// recycled as soon as the call returns — even across its retries.
-	payload := appendStageMsg(bufpool.Get(stageMsgSize(h.pipeline, meta, bulk))[:0], h.pipeline, it, meta, bulk)
-	_, err := h.c.mi.CallProvider(h.server, ProviderID, "stage", payload, timeout)
-	bufpool.Put(payload)
+	stageOnce := func(zeroBase bool) (stageCodecInfo, codecUsed, int, int64, error) {
+		var (
+			wire       []byte
+			pooledWire bool
+			ci         stageCodecInfo
+			used       codecUsed
+		)
+		if h.codec.enabled() {
+			wire, pooledWire, ci, used.c, used.encNs = h.codec.encodeStage(h.pipeline, it, meta, data, zeroBase)
+		} else {
+			wire, ci = data, stageCodecInfo{Uncompressed: uint64(len(data))}
+		}
+		bulk := cls.Expose(wire)
+		// The stage frame is binary (see stagewire.go) and pooled: CallProvider
+		// is synchronous and the transport copies on send, so the frame can be
+		// recycled as soon as the call returns — even across its retries.
+		payload := appendStageMsg(bufpool.Get(stageMsgSize(h.pipeline, meta, bulk))[:0], h.pipeline, it, meta, ci, bulk)
+		start := time.Now()
+		_, err := h.c.mi.CallProvider(h.server, ProviderID, "stage", payload, timeout)
+		rpcNs := time.Since(start).Nanoseconds()
+		cls.Release(bulk)
+		bufpool.Put(payload)
+		n := len(wire)
+		if pooledWire {
+			bufpool.Put(wire)
+		}
+		return ci, used, n, rpcNs, err
+	}
+	ci, used, wireLen, rpcNs, err := stageOnce(false)
+	if isDeltaBaseMismatch(err) && ci.HasBase {
+		// The server lost our delta base; resend self-contained.
+		ci, used, wireLen, rpcNs, err = stageOnce(true)
+	}
+	if err == nil {
+		h.codec.recordSuccess(h.c.observer(), h.pipeline, it, meta, data, ci, used.c, wireLen, used.encNs, rpcNs)
+	}
 	return err
 }
 

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"colza/internal/bufpool"
+	"colza/internal/codec"
+	"colza/internal/obs"
+)
+
+// deltaMismatchText is the sentinel carried by the server's remote error
+// when a delta-encoded frame names a base iteration the server no longer
+// holds (evicted, invalidated, or already superseded by a duplicate of this
+// very block). Remote errors cross the wire as strings, so the client
+// detects it by substring and re-encodes the block against a zero base —
+// the stage is retried self-contained, never decoded against wrong state.
+const deltaMismatchText = "colza: stage delta base mismatch"
+
+func isDeltaBaseMismatch(err error) bool {
+	return err != nil && strings.Contains(err.Error(), deltaMismatchText)
+}
+
+// codecUsed pairs the codec a block was encoded with and the CPU time the
+// encode took, for feedback after the stage RPC completes.
+type codecUsed struct {
+	c     codec.Codec
+	encNs int64
+}
+
+// stageCodecState is the client half of the stage compression path, shared
+// by the distributed and solo pipeline handles. Compression is opt-in per
+// handle (SetCodec / SetCodecAdaptive): with neither set every block takes
+// the exact pre-codec raw path — no copy, no encode, no extra metrics — so
+// the PR 3 alloc ceilings hold unchanged.
+type stageCodecState struct {
+	mu          sync.Mutex
+	forced      codec.Codec // non-nil: always use this codec (negotiation permitting)
+	adaptive    bool
+	selector    *codec.Selector
+	delta       *codec.DeltaState
+	allowed     map[uint8]bool // per-link negotiated set; nil before negotiation
+	lastMembers string         // member key of the last negotiated view
+}
+
+// enabled reports whether the codec machinery is engaged at all.
+func (s *stageCodecState) enabled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.forced != nil || s.adaptive
+}
+
+func (s *stageCodecState) setCodec(name string) error {
+	c, err := codec.Lookup(name)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.forced = c
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *stageCodecState) setAdaptive(on bool) {
+	s.mu.Lock()
+	s.adaptive = on
+	if on {
+		s.forced = nil
+		if s.selector == nil {
+			s.selector = codec.NewSelector(codec.All())
+		}
+	}
+	s.mu.Unlock()
+}
+
+func (s *stageCodecState) deltaState() *codec.DeltaState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.delta == nil {
+		s.delta = codec.NewDeltaState(0)
+	}
+	return s.delta
+}
+
+// negotiate installs the per-link codec set for a freshly pinned view: the
+// intersection of what every member advertises (a member advertising
+// nothing is raw-only — raw is always mutual). A membership change also
+// invalidates the pipeline's delta bases: placement re-routes blocks to
+// servers that never saw their history, so every base this client
+// remembers is suspect.
+func (s *stageCodecState) negotiate(pipeline string, members []ServerInfo) {
+	var key strings.Builder
+	for _, m := range members {
+		key.WriteString(m.RPC)
+		key.WriteByte(',')
+	}
+	inter := map[uint8]bool{codec.RawID: true}
+	for _, id := range codec.IDs() {
+		inter[id] = true
+	}
+	for _, m := range members {
+		mset := map[uint8]bool{codec.RawID: true}
+		for _, id := range m.Codecs {
+			mset[id] = true
+		}
+		for id := range inter {
+			if !mset[id] {
+				delete(inter, id)
+			}
+		}
+	}
+	s.mu.Lock()
+	changed := s.lastMembers != "" && s.lastMembers != key.String()
+	s.lastMembers = key.String()
+	s.allowed = inter
+	sel := s.selector
+	delta := s.delta
+	s.mu.Unlock()
+	if sel != nil {
+		var cands []codec.Codec
+		for _, c := range codec.All() {
+			if inter[c.ID()] {
+				cands = append(cands, c)
+			}
+		}
+		sel.SetCandidates(cands)
+	}
+	if changed && delta != nil {
+		delta.InvalidatePipeline(pipeline)
+	}
+}
+
+// pick chooses the codec for the next block, honoring the negotiated set.
+func (s *stageCodecState) pick() codec.Codec {
+	s.mu.Lock()
+	forced, adaptive, sel, allowed := s.forced, s.adaptive, s.selector, s.allowed
+	s.mu.Unlock()
+	permit := func(c codec.Codec) bool {
+		return c.ID() == codec.RawID || allowed == nil || allowed[c.ID()]
+	}
+	if forced != nil && permit(forced) {
+		return forced
+	}
+	if forced == nil && adaptive && sel != nil {
+		if c := sel.Pick(); permit(c) {
+			return c
+		}
+	}
+	return codec.Raw{}
+}
+
+// encodeStage prepares the wire payload for one block. Raw returns data
+// itself (pooled=false, nothing to recycle); any other codec returns a
+// pooled buffer the caller must bufpool.Put after release. zeroBase forces
+// a self-contained delta (the mismatch-fallback retry path).
+func (s *stageCodecState) encodeStage(pipeline string, it uint64, meta BlockMeta, data []byte, zeroBase bool) (wire []byte, pooled bool, ci stageCodecInfo, used codec.Codec, encNs int64) {
+	c := s.pick()
+	ci = stageCodecInfo{CodecID: c.ID(), Uncompressed: uint64(len(data))}
+	if c.ID() == codec.RawID {
+		return data, false, ci, c, 0
+	}
+	start := time.Now()
+	src := data
+	var xbuf []byte
+	if c.ID() == codec.DeltaID {
+		ci.Remember = true
+		key := codec.DeltaKey{Pipeline: pipeline, Field: meta.Field, Block: meta.BlockID}
+		if !zeroBase && len(data) > 0 {
+			if base, n, ok := s.deltaState().Latest(key); ok && n == len(data) && base < it {
+				// XOR against the remembered base in a pooled copy (the
+				// caller's buffer must stay untouched — RDMA semantics).
+				xbuf = bufpool.Get(len(data))
+				copy(xbuf, data)
+				if s.deltaState().XORBase(key, base, xbuf) {
+					ci.HasBase, ci.DeltaBase = true, base
+					src = xbuf
+				} else {
+					bufpool.Put(xbuf)
+					xbuf = nil
+				}
+			}
+		}
+	}
+	buf := bufpool.Get(c.MaxEncodedSize(len(src)))
+	enc, err := c.Encode(buf[:0], src)
+	if xbuf != nil {
+		bufpool.Put(xbuf)
+	}
+	if err != nil {
+		// The built-in codecs cannot fail to encode, but a failing codec must
+		// degrade to raw, never fail the stage.
+		bufpool.Put(buf)
+		ci = stageCodecInfo{CodecID: codec.RawID, Uncompressed: uint64(len(data))}
+		return data, false, ci, codec.Raw{}, time.Since(start).Nanoseconds()
+	}
+	return enc, true, ci, c, time.Since(start).Nanoseconds()
+}
+
+// recordSuccess feeds one successfully staged block back into metrics, the
+// adaptive selector, and — for delta — the remembered base history.
+// Client-side codec.bytes.in counts uncompressed bytes entering the codec,
+// codec.bytes.out the wire bytes leaving; codec.ratio is permille
+// (wire*1000/uncompressed).
+func (s *stageCodecState) recordSuccess(reg *obs.Registry, pipeline string, it uint64, meta BlockMeta, data []byte, ci stageCodecInfo, used codec.Codec, wireLen int, encNs, rpcNs int64) {
+	if used == nil {
+		return
+	}
+	name := used.Name()
+	reg.Counter("codec.bytes.in", "codec", name).Add(int64(len(data)))
+	reg.Counter("codec.bytes.out", "codec", name).Add(int64(wireLen))
+	if len(data) > 0 {
+		reg.Gauge("codec.ratio", "codec", name).Set(int64(wireLen) * 1000 / int64(len(data)))
+		reg.Gauge("codec.encode_ns_per_mb", "codec", name).Set(encNs * (1 << 20) / int64(len(data)))
+	}
+	s.mu.Lock()
+	sel := s.selector
+	s.mu.Unlock()
+	if sel != nil {
+		sel.Record(used, len(data), wireLen, encNs, rpcNs)
+	}
+	if ci.Remember {
+		s.deltaState().Remember(codec.DeltaKey{Pipeline: pipeline, Field: meta.Field, Block: meta.BlockID}, it, data)
+	}
+}

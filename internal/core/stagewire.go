@@ -17,6 +17,10 @@ import (
 // Layout (little-endian):
 //
 //	u8  version
+//	u8  codec id
+//	u64 uncompressed payload length
+//	u64 delta base iteration + 1 (0 = no base: payload is self-contained)
+//	u8  flags (bit0: server should remember this block for future deltas)
 //	u32 len(pipeline), pipeline
 //	u64 iteration
 //	u32 len(field), field
@@ -26,8 +30,33 @@ import (
 //	3 × u64 origin  (float64 bits)
 //	3 × u64 spacing (float64 bits)
 //	u32 len(bulk), encoded mercury.Bulk handle
+//
+// Version 2 added the codec block (codec id, uncompressed length, delta
+// base, flags); the bulk handle now describes the *encoded* payload, and
+// the uncompressed length tells the server how many bytes the decode must
+// produce. Raw (codec 0, uncompressed == bulk size, no base) reproduces the
+// v1 semantics exactly.
 
-const stageWireVersion = 1
+const stageWireVersion = 2
+
+// stageFlagRemember asks the receiver to retain the decoded block as the
+// delta base for the next iteration.
+const stageFlagRemember = 1 << 0
+
+// maxStageUncompressed bounds the uncompressed length a frame may claim, so
+// a corrupt or hostile frame cannot make the server reserve unbounded
+// memory. Matches the largest bufpool class (64 MiB).
+const maxStageUncompressed = 64 << 20
+
+// stageCodecInfo is the codec block of a stage frame: how the bulk payload
+// was encoded and how to undo it.
+type stageCodecInfo struct {
+	CodecID      uint8
+	Uncompressed uint64 // decoded payload length
+	DeltaBase    uint64 // base iteration the payload was XORed against
+	HasBase      bool   // false: no XOR base, payload is self-contained
+	Remember     bool   // receiver should keep the block as next delta base
+}
 
 // ErrStageWire reports a malformed stage frame.
 var ErrStageWire = errors.New("colza: malformed stage frame")
@@ -36,6 +65,7 @@ var ErrStageWire = errors.New("colza: malformed stage frame")
 // draw a right-sized pooled buffer.
 func stageMsgSize(pipeline string, meta BlockMeta, bulk mercury.Bulk) int {
 	return 1 + // version
+		1 + 8 + 8 + 1 + // codec id, uncompressed, delta base, flags
 		4 + len(pipeline) +
 		8 + // iteration
 		4 + len(meta.Field) +
@@ -64,8 +94,20 @@ func appendLenString(dst []byte, s string) []byte {
 
 // appendStageMsg encodes a stage frame; with stageMsgSize of spare
 // capacity in dst it does not allocate.
-func appendStageMsg(dst []byte, pipeline string, it uint64, meta BlockMeta, bulk mercury.Bulk) []byte {
+func appendStageMsg(dst []byte, pipeline string, it uint64, meta BlockMeta, ci stageCodecInfo, bulk mercury.Bulk) []byte {
 	dst = append(dst, stageWireVersion)
+	dst = append(dst, ci.CodecID)
+	dst = appendU64(dst, ci.Uncompressed)
+	base := uint64(0)
+	if ci.HasBase {
+		base = ci.DeltaBase + 1
+	}
+	dst = appendU64(dst, base)
+	var flags byte
+	if ci.Remember {
+		flags |= stageFlagRemember
+	}
+	dst = append(dst, flags)
 	dst = appendLenString(dst, pipeline)
 	dst = appendU64(dst, it)
 	dst = appendLenString(dst, meta.Field)
@@ -108,13 +150,34 @@ func readLenString(p []byte) (string, []byte, error) {
 
 // decodeStageMsg parses a stage frame. The returned bulk handle holds its
 // own decoded fields, so nothing aliases the request payload afterwards.
-func decodeStageMsg(p []byte) (pipeline string, it uint64, meta BlockMeta, bulk mercury.Bulk, err error) {
-	fail := func() (string, uint64, BlockMeta, mercury.Bulk, error) {
-		return "", 0, BlockMeta{}, mercury.Bulk{}, ErrStageWire
+func decodeStageMsg(p []byte) (pipeline string, it uint64, meta BlockMeta, ci stageCodecInfo, bulk mercury.Bulk, err error) {
+	fail := func() (string, uint64, BlockMeta, stageCodecInfo, mercury.Bulk, error) {
+		return "", 0, BlockMeta{}, stageCodecInfo{}, mercury.Bulk{}, ErrStageWire
 	}
 	if len(p) < 1 || p[0] != stageWireVersion {
 		return fail()
 	}
+	p = p[1:]
+	if len(p) < 1 {
+		return fail()
+	}
+	ci.CodecID = p[0]
+	p = p[1:]
+	if ci.Uncompressed, p, err = readU64(p); err != nil || ci.Uncompressed > maxStageUncompressed {
+		return fail()
+	}
+	var base uint64
+	if base, p, err = readU64(p); err != nil {
+		return fail()
+	}
+	if base > 0 {
+		ci.HasBase = true
+		ci.DeltaBase = base - 1
+	}
+	if len(p) < 1 || p[0]&^stageFlagRemember != 0 {
+		return fail()
+	}
+	ci.Remember = p[0]&stageFlagRemember != 0
 	p = p[1:]
 	if pipeline, p, err = readLenString(p); err != nil {
 		return fail()
@@ -160,5 +223,5 @@ func decodeStageMsg(p []byte) (pipeline string, it uint64, meta BlockMeta, bulk 
 	if err != nil || len(rest) != 0 {
 		return fail()
 	}
-	return pipeline, it, meta, bulk, nil
+	return pipeline, it, meta, ci, bulk, nil
 }

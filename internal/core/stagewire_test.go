@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"colza/internal/codec"
 	"colza/internal/mercury"
 )
 
@@ -17,25 +18,34 @@ func TestStageWireRoundTrip(t *testing.T) {
 		Spacing: [3]float64{0.1, 0.2, 0.3},
 	}
 	bulk := mercury.Bulk{Addr: "inproc://sim-3", ID: 42, Size: 1 << 20}
-	frame := appendStageMsg(nil, "viz", 9, meta, bulk)
-	if len(frame) != stageMsgSize("viz", meta, bulk) {
-		t.Fatalf("frame length %d, stageMsgSize %d", len(frame), stageMsgSize("viz", meta, bulk))
-	}
-	pipeline, it, gotMeta, gotBulk, err := decodeStageMsg(frame)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if pipeline != "viz" || it != 9 || gotMeta != meta || gotBulk != bulk {
-		t.Fatalf("round trip: %q %d %+v %+v", pipeline, it, gotMeta, gotBulk)
+	for _, ci := range []stageCodecInfo{
+		{CodecID: codec.RawID, Uncompressed: 1 << 20},
+		{CodecID: codec.ShuffleID, Uncompressed: 4 << 20},
+		{CodecID: codec.DeltaID, Uncompressed: 64, HasBase: true, DeltaBase: 0, Remember: true},
+		{CodecID: codec.DeltaID, Uncompressed: 64, HasBase: true, DeltaBase: 8, Remember: true},
+		{CodecID: codec.FlateID, Uncompressed: 0},
+	} {
+		frame := appendStageMsg(nil, "viz", 9, meta, ci, bulk)
+		if len(frame) != stageMsgSize("viz", meta, bulk) {
+			t.Fatalf("frame length %d, stageMsgSize %d", len(frame), stageMsgSize("viz", meta, bulk))
+		}
+		pipeline, it, gotMeta, gotCI, gotBulk, err := decodeStageMsg(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pipeline != "viz" || it != 9 || gotMeta != meta || gotBulk != bulk || gotCI != ci {
+			t.Fatalf("round trip: %q %d %+v %+v %+v", pipeline, it, gotMeta, gotCI, gotBulk)
+		}
 	}
 }
 
 func TestAppendStageMsgNoAllocWithCapacity(t *testing.T) {
 	meta := BlockMeta{Field: "v", Type: "raw"}
 	bulk := mercury.Bulk{Addr: "inproc://a", ID: 1, Size: 10}
+	ci := stageCodecInfo{CodecID: codec.DeltaID, Uncompressed: 10, HasBase: true, DeltaBase: 3, Remember: true}
 	scratch := make([]byte, 0, stageMsgSize("p", meta, bulk))
 	allocs := testing.AllocsPerRun(20, func() {
-		appendStageMsg(scratch, "p", 1, meta, bulk)
+		appendStageMsg(scratch, "p", 1, meta, ci, bulk)
 	})
 	if allocs != 0 {
 		t.Fatalf("appendStageMsg into sized buffer allocates %.1f times", allocs)
@@ -45,41 +55,60 @@ func TestAppendStageMsgNoAllocWithCapacity(t *testing.T) {
 func TestDecodeStageMsgMalformed(t *testing.T) {
 	meta := BlockMeta{Field: "v", Type: "raw"}
 	bulk := mercury.Bulk{Addr: "inproc://a", ID: 1, Size: 10}
-	good := appendStageMsg(nil, "p", 1, meta, bulk)
+	good := appendStageMsg(nil, "p", 1, meta, stageCodecInfo{Uncompressed: 10}, bulk)
 	// Every truncation must error, never panic.
 	for n := 0; n < len(good); n++ {
-		if _, _, _, _, err := decodeStageMsg(good[:n]); err == nil {
+		if _, _, _, _, _, err := decodeStageMsg(good[:n]); err == nil {
 			t.Fatalf("truncated frame of %d bytes accepted", n)
 		}
 	}
 	// Wrong version byte.
 	bad := append([]byte(nil), good...)
 	bad[0] = 0xFF
-	if _, _, _, _, err := decodeStageMsg(bad); err == nil {
+	if _, _, _, _, _, err := decodeStageMsg(bad); err == nil {
 		t.Fatal("wrong version accepted")
 	}
 	// Trailing garbage (bulk length no longer spans the rest).
-	if _, _, _, _, err := decodeStageMsg(append(append([]byte(nil), good...), 0)); err == nil {
+	if _, _, _, _, _, err := decodeStageMsg(append(append([]byte(nil), good...), 0)); err == nil {
 		t.Fatal("trailing garbage accepted")
+	}
+	// Unknown flag bits must be rejected, not silently dropped on re-encode.
+	flagged := appendStageMsg(nil, "p", 1, meta, stageCodecInfo{Uncompressed: 10}, bulk)
+	flagged[1+1+8+8] |= 0x80
+	if _, _, _, _, _, err := decodeStageMsg(flagged); err == nil {
+		t.Fatal("unknown flag bits accepted")
+	}
+	// An uncompressed length beyond the 64 MiB bound must be rejected so a
+	// hostile frame cannot size a server-side buffer.
+	huge := appendStageMsg(nil, "p", 1, meta, stageCodecInfo{Uncompressed: maxStageUncompressed + 1}, bulk)
+	if _, _, _, _, _, err := decodeStageMsg(huge); err == nil {
+		t.Fatal("oversized uncompressed length accepted")
 	}
 }
 
-// FuzzDecodeStageMsg: the stage decoder fronts the only binary RPC on the
+// FuzzStageFrameDecode: the stage decoder fronts the only binary RPC on the
 // hot path; arbitrary bytes must never panic, and any frame that decodes
-// must re-encode to exactly itself.
-func FuzzDecodeStageMsg(f *testing.F) {
+// must re-encode to exactly itself. Seeds cover every codec ID and the
+// delta base/flag field combinations of the conformance corpus.
+func FuzzStageFrameDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{stageWireVersion})
-	f.Add(appendStageMsg(nil, "viz", 1, BlockMeta{Field: "v", Type: "raw"}, mercury.Bulk{Addr: "inproc://a", ID: 3, Size: 7}))
-	f.Add(appendStageMsg(nil, "", 0, BlockMeta{}, mercury.Bulk{}))
+	bulk := mercury.Bulk{Addr: "inproc://a", ID: 3, Size: 7}
+	f.Add(appendStageMsg(nil, "viz", 1, BlockMeta{Field: "v", Type: "raw"}, stageCodecInfo{Uncompressed: 7}, bulk))
+	f.Add(appendStageMsg(nil, "", 0, BlockMeta{}, stageCodecInfo{}, mercury.Bulk{}))
+	for _, c := range codec.All() {
+		f.Add(appendStageMsg(nil, "p", 2, BlockMeta{Field: "u"}, stageCodecInfo{CodecID: c.ID(), Uncompressed: 64}, bulk))
+	}
+	f.Add(appendStageMsg(nil, "p", 3, BlockMeta{Field: "u"},
+		stageCodecInfo{CodecID: codec.DeltaID, Uncompressed: 1 << 16, HasBase: true, DeltaBase: 2, Remember: true}, bulk))
 	// A huge claimed string length over a short buffer.
 	f.Add([]byte{stageWireVersion, 0xFF, 0xFF, 0xFF, 0x7F, 'x'})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		pipeline, it, meta, bulk, err := decodeStageMsg(data)
+		pipeline, it, meta, ci, bulk, err := decodeStageMsg(data)
 		if err != nil {
 			return
 		}
-		re := appendStageMsg(nil, pipeline, it, meta, bulk)
+		re := appendStageMsg(nil, pipeline, it, meta, ci, bulk)
 		if !bytes.Equal(re, data) {
 			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", re, data)
 		}
@@ -89,9 +118,9 @@ func FuzzDecodeStageMsg(f *testing.F) {
 // TestDecodeStageMsgBoundedAllocs: malformed frames with huge claimed
 // lengths must not allocate proportionally to the claim.
 func TestDecodeStageMsgBoundedAllocs(t *testing.T) {
-	frame := []byte{stageWireVersion, 0xFF, 0xFF, 0xFF, 0x7F, 'x', 'y'}
+	frame := []byte{stageWireVersion, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0x7F, 'x', 'y'}
 	allocs := testing.AllocsPerRun(50, func() {
-		if _, _, _, _, err := decodeStageMsg(frame); err == nil {
+		if _, _, _, _, _, err := decodeStageMsg(frame); err == nil {
 			t.Fatal("malformed frame accepted")
 		}
 	})

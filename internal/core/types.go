@@ -33,10 +33,14 @@ import (
 )
 
 // ServerInfo identifies one staging server: the address of its RPC (Margo)
-// endpoint and of its MoNA (collectives) endpoint.
+// endpoint and of its MoNA (collectives) endpoint, plus the stage codecs
+// the server accepts (internal/codec IDs). Clients intersect Codecs across
+// a pinned view to pick the compression their link supports; an absent set
+// means raw only.
 type ServerInfo struct {
-	RPC  string `json:"rpc"`
-	Mona string `json:"mona"`
+	RPC    string  `json:"rpc"`
+	Mona   string  `json:"mona"`
+	Codecs []uint8 `json:"codecs,omitempty"`
 }
 
 // MemberView is the frozen, ordered set of servers agreed on for an

@@ -3,6 +3,7 @@ package e2e
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -81,7 +82,30 @@ func init() {
 // pull the original bytes — never a recycled or already-reused buffer —
 // and every exposed bulk region must be released by shutdown, client and
 // servers alike (the mercury.bulk.exposed.bytes balance check).
+//
+// The arms rerun the identical fault plan with the wire codec off, under
+// the adaptive controller, and forced to delta: the compressed paths add a
+// second pooled buffer and the delta base-mismatch fallback to the retry
+// machinery, and none of it may change what the backend observes.
 func TestChaosStageRetryBufferOwnership(t *testing.T) {
+	t.Run("raw", func(t *testing.T) {
+		runChaosStageRetryBufferOwnership(t, "own-raw", func(h *core.DistributedPipelineHandle) {})
+	})
+	t.Run("adaptive", func(t *testing.T) {
+		runChaosStageRetryBufferOwnership(t, "own-adpt", func(h *core.DistributedPipelineHandle) {
+			h.SetCodecAdaptive(true)
+		})
+	})
+	t.Run("delta", func(t *testing.T) {
+		runChaosStageRetryBufferOwnership(t, "own-delta", func(h *core.DistributedPipelineHandle) {
+			if err := h.SetCodec("delta"); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+}
+
+func runChaosStageRetryBufferOwnership(t *testing.T, prefix string, configure func(h *core.DistributedPipelineHandle)) {
 	net := na.NewInprocNetwork()
 	var servers []*core.Server
 	for i := 0; i < 2; i++ {
@@ -89,7 +113,7 @@ func TestChaosStageRetryBufferOwnership(t *testing.T) {
 		if i > 0 {
 			boot = servers[0].Addr()
 		}
-		s, err := core.StartInprocServer(net, fmt.Sprintf("own%d", i), core.ServerConfig{Bootstrap: boot, SSG: chaosSSG(int64(i + 1))})
+		s, err := core.StartInprocServer(net, fmt.Sprintf("%s%d", prefix, i), core.ServerConfig{Bootstrap: boot, SSG: chaosSSG(int64(i + 1))})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -98,7 +122,11 @@ func TestChaosStageRetryBufferOwnership(t *testing.T) {
 	}
 	waitMembers(t, servers, 2)
 
-	ep, _ := net.Listen("own-client")
+	checksumMu.Lock()
+	instsBefore := len(checksumInsts)
+	checksumMu.Unlock()
+
+	ep, _ := net.Listen(prefix + "-client")
 	mi := margo.NewInstance(ep)
 	defer mi.Finalize()
 	client := core.NewClient(mi)
@@ -122,6 +150,7 @@ func TestChaosStageRetryBufferOwnership(t *testing.T) {
 
 	h := client.Handle("viz", servers[0].Addr())
 	h.SetTimeout(250 * time.Millisecond)
+	configure(h)
 
 	const iters, blocks = 3, 5
 	const blockLen = 64 << 10
@@ -180,14 +209,38 @@ func TestChaosStageRetryBufferOwnership(t *testing.T) {
 	net.SetFaultPlan(nil)
 
 	// The retry path must actually have run, or the test proves nothing.
-	if got := reg.Snapshot().Counters["colza.stage.retries{pipeline=viz}"]; got < 1 {
+	snap := reg.Snapshot()
+	if got := snap.Counters["colza.stage.retries{pipeline=viz}"]; got < 1 {
 		t.Errorf("fault plan produced %d stage retries, want >= 1", got)
+	}
+	// In the compressed arms the codec must actually have carried bytes,
+	// and the forced-delta arm must have hit the base-mismatch fallback (the
+	// dropped stage response leaves the server one iteration ahead, so the
+	// retry's base is stale and the client must re-encode zero-base).
+	if prefix != "own-raw" {
+		var wire int64
+		for k, v := range snap.Counters {
+			if strings.HasPrefix(k, "codec.bytes.out{") {
+				wire += v
+			}
+		}
+		if wire == 0 {
+			t.Error("codec enabled but codec.bytes.out counted no wire bytes")
+		}
+	}
+	if prefix == "own-delta" {
+		if got := snap.Counters["codec.bytes.out{codec=delta}"]; got < 1 {
+			t.Errorf("codec.bytes.out{codec=delta} = %d, want > 0", got)
+		}
+		if got := snap.Counters["codec.delta.fallback{pipeline=viz}"]; got < 1 {
+			t.Errorf("codec.delta.fallback{pipeline=viz} = %d, want >= 1", got)
+		}
 	}
 
 	checksumMu.Lock()
 	defer checksumMu.Unlock()
 	var staged int
-	for _, p := range checksumInsts {
+	for _, p := range checksumInsts[instsBefore:] {
 		p.mu.Lock()
 		staged += p.staged
 		for _, c := range p.corrupt {

@@ -57,9 +57,12 @@ func TestCommandLineDeployment(t *testing.T) {
 	connFile := filepath.Join(dir, "colza.addr")
 
 	startServer := func(name string) *exec.Cmd {
+		// -codec shuffle exercises the accepted-set restriction end to end:
+		// the servers advertise {raw, shuffle} and the client below stages
+		// through the shuffle codec it negotiates.
 		cmd := exec.Command(serverBin,
 			"-listen", "127.0.0.1:0", "-listen-mona", "127.0.0.1:0",
-			"-connfile", connFile, "-gossip-ms", "20")
+			"-connfile", connFile, "-gossip-ms", "20", "-codec", "shuffle")
 		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
@@ -128,6 +131,9 @@ func TestCommandLineDeployment(t *testing.T) {
 	client := core.NewClient(mi)
 	h := client.Handle("viz", target)
 	h.SetTimeout(30 * time.Second)
+	if err := h.SetCodec("shuffle"); err != nil {
+		t.Fatal(err)
+	}
 	mb := sim.DefaultMandelbulb([3]int{12, 12, 8}, 4)
 	if _, err := h.Activate(1); err != nil {
 		t.Fatal(err)
@@ -170,6 +176,13 @@ func TestCommandLineDeployment(t *testing.T) {
 	assertMetricPresent(t, metrics, "counter core.migrate.errors")
 	assertMetricPresent(t, metrics, "counter core.state.checkpoint.errors")
 	assertMetricPresent(t, metrics, "counter mercury.respond.send_errors")
+	// The compressed stage path must be visible in the live registry: the
+	// client staged through the shuffle codec, so the server counted both
+	// wire bytes in and decoded bytes out for it. The raw counters are
+	// pre-touched at SetObserver time and exported at zero.
+	assertMetricLine(t, metrics, "counter codec.bytes.in{codec=shuffle}")
+	assertMetricLine(t, metrics, "counter codec.bytes.out{codec=shuffle}")
+	assertMetricPresent(t, metrics, "counter codec.bytes.in{codec=raw}")
 
 	// `colza-ctl trace` emits the span records as JSON lines.
 	var spanNames []string

@@ -86,9 +86,11 @@ const (
 // runRecoveryArm runs one arm of the experiment on a fresh in-proc
 // fabric: two servers, the stats pipeline, recoveryIters iterations of
 // recoveryBlocks blocks. When crash is set, server 1 dies abruptly (no
-// graceful leave) between deactivate(2) and activate(3). Returns the
-// probe-iteration summary and the survivor's metrics snapshot.
-func runRecoveryArm(t *testing.T, prefix string, stateReplicas int, crash bool) (map[string]float64, obs.Snapshot) {
+// graceful leave) between deactivate(2) and activate(3). configure, when
+// non-nil, adjusts the handle before the run (the compressed arms enable a
+// wire codec here). Returns the probe-iteration summary and the survivor's
+// metrics snapshot.
+func runRecoveryArm(t *testing.T, prefix string, stateReplicas int, crash bool, configure func(h *core.DistributedPipelineHandle)) (map[string]float64, obs.Snapshot) {
 	t.Helper()
 	net := na.NewInprocNetwork()
 	mkCfg := func(i int, boot string) core.ServerConfig {
@@ -125,6 +127,9 @@ func runRecoveryArm(t *testing.T, prefix string, stateReplicas int, crash bool) 
 
 	h := client.Handle("stats", s0.Addr())
 	h.SetTimeout(10 * time.Second)
+	if configure != nil {
+		configure(h)
+	}
 	for it := uint64(1); it <= recoveryIters; it++ {
 		if crash && it == 3 {
 			// The stateful server dies between iterations — both endpoints,
@@ -152,9 +157,53 @@ func runRecoveryArm(t *testing.T, prefix string, stateReplicas int, crash bool) 
 // detects the orphaned checkpoint at the next 2PC activate and re-seeds
 // the pipeline before the iteration starts.
 func TestCrashRecoveryMatchesOracle(t *testing.T) {
-	oracle, _ := runRecoveryArm(t, "cr-oracle", 1, false)
-	crashed, snap := runRecoveryArm(t, "cr-crash", 1, true)
+	oracle, _ := runRecoveryArm(t, "cr-oracle", 1, false, nil)
+	crashed, snap := runRecoveryArm(t, "cr-crash", 1, true, nil)
+	assertRecoveryMatchesOracle(t, oracle, crashed, snap)
+}
 
+// TestCrashRecoveryMatchesOracleCompressed reruns the crash-vs-oracle
+// experiment with the stage wire compressed — once under the adaptive
+// controller, once forced to delta. The crash shrinks the view, which must
+// invalidate every delta base on both sides (the survivor just imported
+// recovered state; the client renegotiated a different member set), so the
+// recovered run still reproduces the oracle's statistics exactly. Forced
+// delta is the sharp arm: any stale base that survived invalidation would
+// reconstruct wrong bytes and move the strict-equality sums.
+func TestCrashRecoveryMatchesOracleCompressed(t *testing.T) {
+	oracle, _ := runRecoveryArm(t, "cr-oracle-c", 1, false, nil)
+	for _, arm := range []struct {
+		name      string
+		prefix    string
+		configure func(h *core.DistributedPipelineHandle)
+	}{
+		{"adaptive", "cr-adpt", func(h *core.DistributedPipelineHandle) { h.SetCodecAdaptive(true) }},
+		{"delta", "cr-delta", func(h *core.DistributedPipelineHandle) {
+			if err := h.SetCodec("delta"); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		arm := arm
+		t.Run(arm.name, func(t *testing.T) {
+			crashed, snap := runRecoveryArm(t, arm.prefix, 1, true, arm.configure)
+			assertRecoveryMatchesOracle(t, oracle, crashed, snap)
+			if arm.name == "delta" {
+				// The compressed frames must actually have crossed the wire:
+				// the survivor decoded delta payloads into larger blocks.
+				if got := snap.Counters["codec.bytes.in{codec=delta}"]; got < 1 {
+					t.Errorf("codec.bytes.in{codec=delta} = %d, want > 0", got)
+				}
+			}
+		})
+	}
+}
+
+// assertRecoveryMatchesOracle holds a crashed arm to the oracle's exact
+// cumulative statistics and checks the recovery left its fingerprints in
+// the survivor's metrics.
+func assertRecoveryMatchesOracle(t *testing.T, oracle, crashed map[string]float64, snap obs.Snapshot) {
+	t.Helper()
 	// Integer-valued samples make float64 sums exact, so equality is strict.
 	for _, key := range []string{"run_count", "run_sum", "run_mean", "run_min", "run_max"} {
 		ov, ok := oracle[key]
@@ -202,7 +251,7 @@ func TestCrashRecoveryMatchesOracle(t *testing.T) {
 // dead server's share of the first two iterations — 2 of 4 blocks × 8
 // values × 2 iterations = 32 samples — and no recovery is recorded.
 func TestCrashRecoveryWithoutReplicationDocumentsLoss(t *testing.T) {
-	probe, snap := runRecoveryArm(t, "cr-norep", -1, true)
+	probe, snap := runRecoveryArm(t, "cr-norep", -1, true, nil)
 
 	wantCount := float64(recoveryIters*recoveryBlocks*8 - 2*2*8)
 	if probe["run_count"] != wantCount {
