@@ -42,9 +42,30 @@ check_codec_cover() {
             }'
 }
 
+# The elastic controller actuates real process launches and membership
+# leaves; a policy bug silently wastes nodes or melts the staging area, so
+# the closed loop carries the strict floor: every controller branch is
+# expected to be reachable from the conformance + live-deps suites.
+check_elastic_cover() {
+    floor=90
+    go test -cover ./internal/elastic/ |
+        awk -v floor="$floor" '
+            /coverage:/ {
+                pct = $0
+                sub(/.*coverage: /, "", pct)
+                sub(/%.*/, "", pct)
+                printf "%-40s %s%%\n", $2, pct
+                if (pct + 0 < floor) { bad = 1 }
+            }
+            END {
+                if (bad) { print "elastic coverage below " floor "% floor"; exit 1 }
+            }'
+}
+
 if [ "${1:-}" = "cover" ]; then
     check_cover
     check_codec_cover
+    check_elastic_cover
     exit 0
 fi
 
@@ -69,5 +90,14 @@ go test -race -count=1 -timeout 300s -run 'TestCrashRecovery' ./internal/e2e/
 # recovery, and delta-base invalidation with bit-identical payloads.
 go test -race -count=1 -timeout 300s \
     -run 'TestChaosStageRetryBufferOwnership|TestCrashRecoveryMatchesOracleCompressed' ./internal/e2e/
+# Elasticity gate: the deterministic conformance suite (virtual clock, no
+# real-time sleeps — byte-identical verdict sequences) and the live
+# closed-loop e2e (automatic scale-up/down reproducing the static oracle,
+# chaos launch failures, leader handoff) both run under -race. The
+# controller's shutdown goroutine-leak check rides in the elastic pass
+# (TestControllerStopLeaksNoGoroutine).
+go test -race -count=1 -timeout 120s ./internal/elastic/
+go test -race -count=1 -timeout 300s -run 'TestElastic' ./internal/e2e/
 check_cover
 check_codec_cover
+check_elastic_cover

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"colza/internal/core"
+	"colza/internal/elastic"
 	"colza/internal/margo"
 	"colza/internal/na"
 )
@@ -39,7 +40,8 @@ commands:
   destroy <name>                  destroy a pipeline on the target server
   leave                           ask the target server to leave
   metrics                         dump the target server's metrics registry
-  trace                           dump the target server's span trace (JSON lines)`)
+  trace                           dump the target server's span trace (JSON lines)
+  elastic status                  show the elastic controller's verdicts and counters`)
 	os.Exit(2)
 }
 
@@ -139,6 +141,19 @@ func main() {
 			fatal("%v", err)
 		}
 		fmt.Print(text)
+	case "elastic":
+		if len(args) < 2 || args[1] != "status" {
+			usage()
+		}
+		raw, err := admin.ElasticStatus(target)
+		if err != nil {
+			fatal("%v", err)
+		}
+		var st elastic.Status
+		if err := json.Unmarshal(raw, &st); err != nil {
+			fatal("decoding status: %v", err)
+		}
+		elastic.WriteStatus(os.Stdout, st)
 	case "trace":
 		recs, err := admin.Trace(target)
 		if err != nil {

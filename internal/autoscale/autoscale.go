@@ -10,6 +10,10 @@
 // action (launching a daemon or sending an admin leave request). Keeping
 // the actuator outside matches the paper's observation that scale-up and
 // scale-down travel different paths (resource manager vs admin RPC).
+//
+// Time never comes from the wall clock directly: Config.Clock injects the
+// time source, so the same policy runs against real clusters and against
+// the dessim virtual clock in the deterministic conformance suite.
 package autoscale
 
 import (
@@ -41,6 +45,27 @@ func (a Action) String() string {
 	}
 }
 
+// Clock is an injectable monotonic time source. The zero duration is the
+// process (or simulation) start; only differences matter.
+type Clock func() time.Duration
+
+// Sample is one iteration's observation: the measured execute time and
+// the staging-area size it ran on.
+type Sample struct {
+	Exec    time.Duration
+	Servers int
+}
+
+// Verdict pairs the action with the reason the policy chose it, so the
+// controller can expose an explainable decision history.
+type Verdict struct {
+	Action Action
+	// Reason is one of: "over-target", "under-low-water", "steady",
+	// "cooldown", "cooldown-window", "confirming-up", "confirming-down",
+	// "at-ceiling", "at-floor", "idle".
+	Reason string
+}
+
 // Config tunes the policy.
 type Config struct {
 	// Target is the desired pipeline execution time per iteration (the
@@ -57,6 +82,20 @@ type Config struct {
 	// the new configuration time to show its effect — and skipping the
 	// join iteration's warm-up spike (default 2).
 	Cooldown int
+	// CooldownWindow additionally holds for a wall (or virtual) time span
+	// after an action, measured on Clock. Zero disables the window; it
+	// matters when observations arrive much faster than actuation settles
+	// (a launched daemon takes real time to join). Requires Clock.
+	CooldownWindow time.Duration
+	// Confirm is how many consecutive observations must agree before the
+	// policy acts (default 1 = act on the first). Values above 1 add
+	// hysteresis: a single latency spike or dip cannot resize the group.
+	// Observations landing inside a cooldown do not count toward a streak.
+	Confirm int
+	// Clock timestamps the history and drives CooldownWindow. Nil means
+	// a frozen clock at zero (windows then never block, matching the
+	// pre-clock behavior of the package).
+	Clock Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -78,19 +117,30 @@ func (c Config) withDefaults() Config {
 	if c.Cooldown < 1 {
 		c.Cooldown = 2
 	}
+	if c.Confirm < 1 {
+		c.Confirm = 1
+	}
+	if c.Clock == nil {
+		c.Clock = func() time.Duration { return 0 }
+	}
 	return c
 }
 
 // Autoscaler keeps the policy state.
 type Autoscaler struct {
-	cfg      Config
-	sinceAct int
-	history  []obs
+	cfg         Config
+	sinceAct    int
+	actedAt     time.Duration
+	hasActed    bool
+	overStreak  int
+	underStreak int
+	history     []obs
 }
 
 type obs struct {
 	servers int
 	secs    float64
+	at      time.Duration
 }
 
 // New creates an autoscaler; Target must be positive.
@@ -104,23 +154,101 @@ func New(cfg Config) (*Autoscaler, error) {
 // Observe records one iteration's execute time on the given staging-area
 // size and returns the action to take before the next iteration.
 func (a *Autoscaler) Observe(execTime time.Duration, servers int) Action {
-	a.history = append(a.history, obs{servers: servers, secs: execTime.Seconds()})
+	return a.step(Sample{Exec: execTime, Servers: servers}).Action
+}
+
+// ObserveBatch feeds a batch of samples (one metrics poll may cover
+// several completed iterations) and returns the batch's decisive verdict:
+// the action taken if any sample triggered one — at most one can, because
+// an action opens a cooldown — otherwise the last hold. An empty batch is
+// an idle hold and records nothing.
+func (a *Autoscaler) ObserveBatch(batch []Sample) Verdict {
+	if len(batch) == 0 {
+		return Verdict{Action: Hold, Reason: "idle"}
+	}
+	out := Verdict{Action: Hold, Reason: "idle"}
+	for _, s := range batch {
+		if v := a.step(s); v.Action != Hold || out.Action == Hold {
+			out = v
+		}
+	}
+	return out
+}
+
+func (a *Autoscaler) step(s Sample) Verdict {
+	now := a.cfg.Clock()
+	a.history = append(a.history, obs{servers: s.Servers, secs: s.Exec.Seconds(), at: now})
 	a.sinceAct++
 	if a.sinceAct < a.cfg.Cooldown {
-		return Hold
+		a.overStreak, a.underStreak = 0, 0
+		return Verdict{Action: Hold, Reason: "cooldown"}
+	}
+	if a.windowRemaining(now) > 0 {
+		a.overStreak, a.underStreak = 0, 0
+		return Verdict{Action: Hold, Reason: "cooldown-window"}
 	}
 	target := a.cfg.Target.Seconds()
-	secs := execTime.Seconds()
-	switch {
-	case secs > target*a.cfg.HighWater && servers < a.cfg.Max:
-		a.sinceAct = 0
-		return ScaleUp
-	case servers > a.cfg.Min && a.projected(servers-1) < target*a.cfg.LowWater:
-		a.sinceAct = 0
-		return ScaleDown
-	default:
-		return Hold
+	secs := s.Exec.Seconds()
+	over := secs > target*a.cfg.HighWater
+	under := !over && a.projected(s.Servers-1) < target*a.cfg.LowWater
+	if over {
+		a.overStreak++
+	} else {
+		a.overStreak = 0
 	}
+	if under {
+		a.underStreak++
+	} else {
+		a.underStreak = 0
+	}
+	switch {
+	case over && s.Servers >= a.cfg.Max:
+		return Verdict{Action: Hold, Reason: "at-ceiling"}
+	case over && a.overStreak < a.cfg.Confirm:
+		return Verdict{Action: Hold, Reason: "confirming-up"}
+	case over:
+		a.act(now)
+		return Verdict{Action: ScaleUp, Reason: "over-target"}
+	case under && s.Servers <= a.cfg.Min:
+		return Verdict{Action: Hold, Reason: "at-floor"}
+	case under && a.underStreak < a.cfg.Confirm:
+		return Verdict{Action: Hold, Reason: "confirming-down"}
+	case under:
+		a.act(now)
+		return Verdict{Action: ScaleDown, Reason: "under-low-water"}
+	}
+	return Verdict{Action: Hold, Reason: "steady"}
+}
+
+func (a *Autoscaler) act(now time.Duration) {
+	a.sinceAct = 0
+	a.actedAt = now
+	a.hasActed = true
+	a.overStreak, a.underStreak = 0, 0
+}
+
+// StartCooldown opens a fresh cooldown (count and window) as if the
+// policy had just acted. Controllers call it when external events — a
+// leadership takeover, a failed actuation settling — should suppress
+// decisions until fresh post-event observations accumulate.
+func (a *Autoscaler) StartCooldown() {
+	a.act(a.cfg.Clock())
+}
+
+// CooldownRemaining reports how much of the cooldown window is left on
+// the policy clock (zero when no window is configured or it elapsed).
+func (a *Autoscaler) CooldownRemaining() time.Duration {
+	return a.windowRemaining(a.cfg.Clock())
+}
+
+func (a *Autoscaler) windowRemaining(now time.Duration) time.Duration {
+	if !a.hasActed || a.cfg.CooldownWindow <= 0 {
+		return 0
+	}
+	if left := a.actedAt + a.cfg.CooldownWindow - now; left > 0 {
+		return left
+	}
+	return 0
 }
 
 // projected estimates the execution time on n servers from the most
@@ -134,18 +262,21 @@ func (a *Autoscaler) projected(n int) float64 {
 	return last.secs * float64(last.servers) / float64(n)
 }
 
-// History returns the recorded (servers, seconds) observations.
+// History returns the recorded (servers, seconds, at) observations.
 func (a *Autoscaler) History() []struct {
 	Servers int
 	Seconds float64
+	At      time.Duration
 } {
 	out := make([]struct {
 		Servers int
 		Seconds float64
+		At      time.Duration
 	}, len(a.history))
 	for i, o := range a.history {
 		out[i].Servers = o.servers
 		out[i].Seconds = o.secs
+		out[i].At = o.at
 	}
 	return out
 }

@@ -142,6 +142,109 @@ func TestActionStrings(t *testing.T) {
 	}
 }
 
+// The injectable clock must timestamp history and drive the cooldown
+// window without any real sleeping.
+func TestCooldownWindowOnVirtualClock(t *testing.T) {
+	var now time.Duration
+	a := mustNew(t, Config{
+		Target: time.Second, Max: 8, Cooldown: 1,
+		CooldownWindow: 10 * time.Second,
+		Clock:          func() time.Duration { return now },
+	})
+	if got := a.ObserveBatch([]Sample{{Exec: 5 * time.Second, Servers: 1}}); got.Action != ScaleUp {
+		t.Fatalf("first: %+v", got)
+	}
+	now += 5 * time.Second
+	if got := a.ObserveBatch([]Sample{{Exec: 5 * time.Second, Servers: 2}}); got.Reason != "cooldown-window" {
+		t.Fatalf("inside window: %+v", got)
+	}
+	if left := a.CooldownRemaining(); left != 5*time.Second {
+		t.Fatalf("remaining = %v", left)
+	}
+	now += 6 * time.Second
+	if got := a.ObserveBatch([]Sample{{Exec: 5 * time.Second, Servers: 2}}); got.Action != ScaleUp {
+		t.Fatalf("after window: %+v", got)
+	}
+	h := a.History()
+	if h[0].At != 0 || h[1].At != 5*time.Second || h[2].At != 11*time.Second {
+		t.Fatalf("history timestamps wrong: %+v", h)
+	}
+}
+
+// Confirm > 1 must hold through a single spike and act only on a
+// sustained breach.
+func TestConfirmHysteresis(t *testing.T) {
+	a := mustNew(t, Config{Target: time.Second, Max: 8, Confirm: 2, Cooldown: 1})
+	if got := a.ObserveBatch([]Sample{{Exec: 5 * time.Second, Servers: 2}}); got.Reason != "confirming-up" {
+		t.Fatalf("spike sample: %+v", got)
+	}
+	// Spike over: the streak resets and nothing ever fires.
+	if got := a.ObserveBatch([]Sample{{Exec: 900 * time.Millisecond, Servers: 2}}); got.Reason != "steady" {
+		t.Fatalf("back to steady: %+v", got)
+	}
+	// A sustained breach fires on the second confirming observation.
+	if got := a.Observe(5*time.Second, 2); got != Hold {
+		t.Fatalf("confirm 1/2: %v", got)
+	}
+	if got := a.Observe(5*time.Second, 2); got != ScaleUp {
+		t.Fatalf("confirm 2/2: %v", got)
+	}
+}
+
+func TestConfirmHysteresisDown(t *testing.T) {
+	a := mustNew(t, Config{Target: time.Second, Max: 8, Confirm: 2, Cooldown: 1})
+	if got := a.ObserveBatch([]Sample{{Exec: 100 * time.Millisecond, Servers: 4}}); got.Reason != "confirming-down" {
+		t.Fatalf("dip sample: %+v", got)
+	}
+	if got := a.Observe(100*time.Millisecond, 4); got != ScaleDown {
+		t.Fatal("sustained dip should release a server")
+	}
+}
+
+func TestObserveBatchSemantics(t *testing.T) {
+	a := mustNew(t, Config{Target: time.Second, Max: 8})
+	if got := a.ObserveBatch(nil); got.Reason != "idle" || got.Action != Hold {
+		t.Fatalf("empty batch: %+v", got)
+	}
+	// A batch spanning the breach returns the action, not the later holds
+	// (the post-action samples land in the count cooldown).
+	got := a.ObserveBatch([]Sample{
+		{Exec: 500 * time.Millisecond, Servers: 1},
+		{Exec: 5 * time.Second, Servers: 1},
+		{Exec: 5 * time.Second, Servers: 1},
+	})
+	if got.Action != ScaleUp || got.Reason != "over-target" {
+		t.Fatalf("batch verdict: %+v", got)
+	}
+	if len(a.History()) != 3 {
+		t.Fatalf("history %d", len(a.History()))
+	}
+}
+
+func TestStartCooldownSuppresses(t *testing.T) {
+	a := mustNew(t, Config{Target: time.Second, Max: 8, Cooldown: 3})
+	a.StartCooldown()
+	if got := a.Observe(5*time.Second, 1); got != Hold {
+		t.Fatalf("cooldown ignored after StartCooldown: %v", got)
+	}
+	if got := a.Observe(5*time.Second, 1); got != Hold {
+		t.Fatalf("cooldown 2: %v", got)
+	}
+	if got := a.Observe(5*time.Second, 1); got != ScaleUp {
+		t.Fatalf("after cooldown: %v", got)
+	}
+}
+
+func TestVerdictReasonsForBounds(t *testing.T) {
+	a := mustNew(t, Config{Target: time.Second, Min: 2, Max: 3, Cooldown: 1})
+	if got := a.ObserveBatch([]Sample{{Exec: 5 * time.Second, Servers: 3}}); got.Reason != "at-ceiling" {
+		t.Fatalf("ceiling: %+v", got)
+	}
+	if got := a.ObserveBatch([]Sample{{Exec: time.Millisecond, Servers: 2}}); got.Reason != "at-floor" {
+		t.Fatalf("floor: %+v", got)
+	}
+}
+
 // Property: for arbitrary observation streams the autoscaler's actions,
 // when applied, never push the size outside [Min, Max].
 func TestQuickBoundsRespected(t *testing.T) {

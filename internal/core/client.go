@@ -858,6 +858,31 @@ func (a *AdminClient) MetricsSnapshot(serverRPC string) (obs.Snapshot, error) {
 	return s, nil
 }
 
+// PipelineDefs fetches one server's pipeline definitions (name, type,
+// config) — what the elastic controller replicates onto a new daemon.
+func (a *AdminClient) PipelineDefs(serverRPC string) ([]PipelineDef, error) {
+	raw, err := a.mi.CallProvider(serverRPC, AdminID, "pipeline_defs", nil, a.timeout)
+	if err != nil {
+		return nil, err
+	}
+	var out []PipelineDef
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ElasticStatus fetches the elastic controller's status document from a
+// server running with -elastic; servers without a controller return an
+// error.
+func (a *AdminClient) ElasticStatus(serverRPC string) (json.RawMessage, error) {
+	raw, err := a.mi.CallProvider(serverRPC, AdminID, "elastic_status", nil, a.timeout)
+	if err != nil {
+		return nil, err
+	}
+	return json.RawMessage(raw), nil
+}
+
 // Trace fetches one server's retained span records (JSON lines on the
 // wire), newest last.
 func (a *AdminClient) Trace(serverRPC string) ([]obs.SpanRecord, error) {

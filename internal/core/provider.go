@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -98,8 +99,10 @@ type activeState struct {
 }
 
 type pipelineSlot struct {
-	name    string
-	backend Backend
+	name     string
+	backend  Backend
+	typeName string          // factory type, retained for elastic re-provisioning
+	config   json.RawMessage // creation config, retained with typeName
 
 	mu          sync.Mutex
 	prepared    *preparedState
@@ -125,6 +128,7 @@ type Provider struct {
 	onLeave       func()
 	stateReplicas int              // ring successors per checkpoint round; 0 disables
 	lastMigration *MigrationStatus // outcome of the leave-time migration
+	elasticStatus func() ([]byte, error) // elastic controller status hook (nil without -elastic)
 
 	// Replicated-checkpoint store (see checkpoint.go): checkpoints held for
 	// peers, and the replica sets of this server's own last rounds (for
@@ -218,6 +222,8 @@ func NewProvider(mi *margo.Instance, mn *mona.Instance, group *ssg.Group) *Provi
 	mi.RegisterProviderRPC(AdminID, "metrics", p.handleMetrics)
 	mi.RegisterProviderRPC(AdminID, "metrics_json", p.handleMetricsJSON)
 	mi.RegisterProviderRPC(AdminID, "trace", p.handleTrace)
+	mi.RegisterProviderRPC(AdminID, "pipeline_defs", p.handlePipelineDefs)
+	mi.RegisterProviderRPC(AdminID, "elastic_status", p.handleElasticStatus)
 	return p
 }
 
@@ -247,7 +253,7 @@ func (p *Provider) BindPools(control, data *margo.Pool) {
 	}
 	for _, rpc := range []string{"create_pipeline", "destroy_pipeline",
 		"list_pipelines", "list_types", "leave", "metrics", "metrics_json",
-		"trace", "migration_status"} {
+		"trace", "migration_status", "pipeline_defs", "elastic_status"} {
 		p.mi.BindRPCPool(margo.ProviderRPCName(AdminID, rpc), control)
 	}
 }
@@ -309,8 +315,29 @@ func (p *Provider) CreatePipeline(name, typeName string, config json.RawMessage)
 		b.Destroy()
 		return fmt.Errorf("colza: pipeline %q already exists", name)
 	}
-	p.pipelines[name] = &pipelineSlot{name: name, backend: b}
+	p.pipelines[name] = &pipelineSlot{name: name, backend: b, typeName: typeName, config: config}
 	return nil
+}
+
+// PipelineDef describes one hosted pipeline well enough to recreate it on
+// another server: the elastic controller replicates these definitions to
+// a freshly launched daemon so it can vote yes on the next activate.
+type PipelineDef struct {
+	Name   string          `json:"n"`
+	Type   string          `json:"t"`
+	Config json.RawMessage `json:"c,omitempty"`
+}
+
+// PipelineDefs lists the hosted pipelines' definitions, sorted by name.
+func (p *Provider) PipelineDefs() []PipelineDef {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PipelineDef, 0, len(p.pipelines))
+	for _, slot := range p.pipelines {
+		out = append(out, PipelineDef{Name: slot.name, Type: slot.typeName, Config: slot.config})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // DestroyPipeline removes a pipeline, draining any in-flight stage/execute
@@ -968,6 +995,31 @@ func (p *Provider) handleMetrics(req mercury.Request) ([]byte, error) {
 // programmatic merging across servers.
 func (p *Provider) handleMetricsJSON(req mercury.Request) ([]byte, error) {
 	return json.Marshal(p.observer().Snapshot())
+}
+
+// handlePipelineDefs serves the hosted pipelines' definitions so a peer
+// (the elastic controller) can replicate them onto a new server.
+func (p *Provider) handlePipelineDefs(req mercury.Request) ([]byte, error) {
+	return json.Marshal(p.PipelineDefs())
+}
+
+// SetElasticStatus installs the callback serving the elastic controller's
+// status document. The hook keeps core free of an elastic import: servers
+// without a controller answer the RPC with an error instead.
+func (p *Provider) SetElasticStatus(fn func() ([]byte, error)) {
+	p.mu.Lock()
+	p.elasticStatus = fn
+	p.mu.Unlock()
+}
+
+func (p *Provider) handleElasticStatus(req mercury.Request) ([]byte, error) {
+	p.mu.Lock()
+	fn := p.elasticStatus
+	p.mu.Unlock()
+	if fn == nil {
+		return nil, errors.New("colza: no elastic controller on this server")
+	}
+	return fn()
 }
 
 // handleTrace serves the retained span records as JSON lines.

@@ -1,0 +1,89 @@
+package elastic
+
+import (
+	"strings"
+	"time"
+
+	"colza/internal/autoscale"
+	"colza/internal/obs"
+)
+
+// execSpanPrefix selects the server-side execute span histograms in a
+// metrics snapshot ("span.srv.execute{pipeline=X}", nanosecond values).
+const execSpanPrefix = "span.srv.execute"
+
+type execTotals struct {
+	sum, count int64
+}
+
+// metricsSource turns the members' metrics snapshots into per-iteration
+// execute samples. For each member it tracks the cumulative (sum, count)
+// of all execute span histograms; the per-poll delta yields how many
+// iterations that member completed and their mean execute time. The
+// batch reports the max iteration count across members (they advance in
+// lockstep through the 2PC barrier, so counts agree modulo the poll
+// race) and the slowest member's mean — an iteration is as slow as its
+// slowest server.
+type metricsSource struct {
+	snapshot func(addr string) (obs.Snapshot, error)
+	prev     map[string]execTotals
+}
+
+func newMetricsSource(snapshot func(addr string) (obs.Snapshot, error)) *metricsSource {
+	return &metricsSource{snapshot: snapshot, prev: map[string]execTotals{}}
+}
+
+// Poll senses one round over the given membership. Members whose
+// snapshot RPC fails (dead or mid-join) are skipped and counted in the
+// returned error count; members seen for the first time are baselined so
+// history predating the controller is never replayed into the policy.
+func (s *metricsSource) Poll(members []string) (batch []autoscale.Sample, errs int) {
+	live := make(map[string]bool, len(members))
+	var iters int64
+	var worstNS float64
+	for _, m := range members {
+		live[m] = true
+		snap, err := s.snapshot(m)
+		if err != nil {
+			errs++
+			continue
+		}
+		var tot execTotals
+		for key, h := range snap.Histograms {
+			if strings.HasPrefix(key, execSpanPrefix) {
+				tot.sum += h.Sum
+				tot.count += h.Count
+			}
+		}
+		prev, seen := s.prev[m]
+		s.prev[m] = tot
+		if !seen {
+			continue
+		}
+		dc := tot.count - prev.count
+		if dc <= 0 {
+			continue
+		}
+		mean := float64(tot.sum-prev.sum) / float64(dc)
+		if mean > worstNS {
+			worstNS = mean
+		}
+		if dc > iters {
+			iters = dc
+		}
+	}
+	for m := range s.prev {
+		if !live[m] {
+			delete(s.prev, m)
+		}
+	}
+	if iters == 0 {
+		return nil, errs
+	}
+	exec := time.Duration(worstNS)
+	batch = make([]autoscale.Sample, iters)
+	for i := range batch {
+		batch[i] = autoscale.Sample{Exec: exec, Servers: len(members)}
+	}
+	return batch, errs
+}
