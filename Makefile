@@ -30,13 +30,14 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParseLegacyImageData -fuzztime=10s ./internal/vtk/
 	$(GO) test -run=NONE -fuzz=FuzzCodecDecode -fuzztime=10s ./internal/codec/
 	$(GO) test -run=NONE -fuzz=FuzzStageFrameDecode -fuzztime=10s ./internal/core/
+	$(GO) test -run=NONE -fuzz=FuzzStageBatchDecode -fuzztime=10s ./internal/core/
 
 # Zero-copy hot-path smoke: one racing pass over the micro-benchmarks
 # (correctness under -race), then the allocs/op regression gates in a pure
 # build (the ceilings exclude race-instrumentation overhead). See
 # internal/bench/micro.go and BENCH_3.json.
 bench-smoke:
-	$(GO) test -race -run NONE -bench 'BenchmarkStagePut|BenchmarkBulkPull|BenchmarkCompositePooled|BenchmarkStageSaturation' -benchtime=1x ./internal/bench/
+	$(GO) test -race -run NONE -bench 'BenchmarkStagePut|BenchmarkBulkPull|BenchmarkCompositePooled|BenchmarkStageSaturation|BenchmarkStageBatched' -benchtime=1x ./internal/bench/
 	$(GO) test -count=1 -run 'AllocsCeiling' ./internal/bench/
 
 # Focused run of the chaos/fault-injection suites.

@@ -62,10 +62,41 @@ check_elastic_cover() {
             }'
 }
 
+# The stage batcher assembles multi-block frames whose shared payload the
+# retry path re-exposes long after the callers' buffers were recycled; a
+# missed branch there is a silent data-corruption path. The batcher files
+# (internal/core/batch.go + stagebatch.go) carry a per-file 90% statement
+# floor, computed from the package coverprofile.
+check_batcher_cover() {
+    floor=90
+    profile=$(mktemp)
+    go test -count=1 -timeout 300s -coverprofile="$profile" ./internal/core/ > /dev/null
+    awk -v floor="$floor" '
+        m=="" { m=1; next }  # skip the "mode:" header
+        $1 ~ /internal\/core\/(batch|stagebatch)\.go:/ {
+            split($1, f, ":")
+            stmts[f[1]] += $2
+            if ($3 > 0) { covered[f[1]] += $2 }
+        }
+        END {
+            n = 0
+            for (file in stmts) {
+                n++
+                pct = 100 * covered[file] / stmts[file]
+                printf "%-40s %.1f%%\n", file, pct
+                if (pct < floor) { bad = 1 }
+            }
+            if (n < 2) { print "batcher files missing from coverprofile"; exit 1 }
+            if (bad) { print "batcher coverage below " floor "% floor"; exit 1 }
+        }' "$profile"
+    rm -f "$profile"
+}
+
 if [ "${1:-}" = "cover" ]; then
     check_cover
     check_codec_cover
     check_elastic_cover
+    check_batcher_cover
     exit 0
 fi
 
@@ -78,8 +109,11 @@ go test -race -timeout 600s ./...
 go test -count=1 -run 'AllocsCeiling' ./internal/bench/
 # Goroutine-leak gate: endpoint teardown must reap accepted conns and their
 # readLoops, and the overload e2e asserts the server's goroutine envelope
-# stays bounded (pools, not O(clients)) and drains back to baseline.
+# stays bounded (pools, not O(clients)) and drains back to baseline. The
+# batcher arm pins the NBStage goroutine bound (10k concurrent calls) and
+# that a drained batcher leaves no send goroutines or age timers behind.
 go test -count=1 -timeout 120s -run 'TestTCPCloseReapsAcceptedConns|TestOverloadShedsAndRecovers' ./internal/na/ ./internal/e2e/
+go test -count=1 -timeout 300s -run 'TestNBStageBoundedGoroutines|TestBatcherDrainNoGoroutineLeak' ./internal/core/
 # Crash-recovery gate: killing the stateful server mid-run must reproduce
 # the crash-free oracle's cumulative statistics exactly (replicated
 # checkpoints), and the no-replication control arm must document the loss.
@@ -90,6 +124,34 @@ go test -race -count=1 -timeout 300s -run 'TestCrashRecovery' ./internal/e2e/
 # recovery, and delta-base invalidation with bit-identical payloads.
 go test -race -count=1 -timeout 300s \
     -run 'TestChaosStageRetryBufferOwnership|TestCrashRecoveryMatchesOracleCompressed' ./internal/e2e/
+# Batching gate: the stage-retry ownership chaos suite reruns with the
+# coalescing batcher engaged (multi-block v3 frames, dropped batch request
+# and response, delta-base mismatch demux) under -race, and the quick-shape
+# BENCH_9 trajectory point must regenerate with the batched path ahead of
+# per-block staging.
+go test -race -count=1 -timeout 300s -run 'TestChaosBatchedStageRetryBufferOwnership' ./internal/e2e/
+# Healthy runs sit at ~2.2x; a single-core CI box right after the race
+# suites can hit transient multi-second scheduler stalls, so the floor
+# gets three attempts — any one clearing 1.2x passes.
+bench9=$(mktemp)
+bench9_ok=0
+for attempt in 1 2 3; do
+    go run ./cmd/colza-bench -quick -bench9json "$bench9"
+    if awk '/"speedup_x"/ {
+            pct = $2 + 0
+            printf "BENCH_9 quick speedup (attempt): %.2fx\n", pct
+            if (pct >= 1.2) { ok = 1 }
+         }
+         END { exit ok ? 0 : 1 }' "$bench9"; then
+        bench9_ok=1
+        break
+    fi
+done
+rm -f "$bench9"
+if [ "$bench9_ok" != 1 ]; then
+    echo "batched stage path never cleared the 1.2x quick floor in 3 attempts"
+    exit 1
+fi
 # Elasticity gate: the deterministic conformance suite (virtual clock, no
 # real-time sleeps — byte-identical verdict sequences) and the live
 # closed-loop e2e (automatic scale-up/down reproducing the static oracle,
@@ -101,3 +163,4 @@ go test -race -count=1 -timeout 300s -run 'TestElastic' ./internal/e2e/
 check_cover
 check_codec_cover
 check_elastic_cover
+check_batcher_cover

@@ -18,6 +18,11 @@ func BenchmarkCompositePooled(b *testing.B)    { BenchCompositePooled(b) }
 // Overload path: tiny stage pool vs parallel stagers (see saturation.go).
 func BenchmarkStageSaturation(b *testing.B) { BenchStageSaturation(b) }
 
+// Batched stage path (stagewire v3 coalescing, see stagebatch.go); the
+// unbatched twin runs the identical shape for the BENCH_9 comparison.
+func BenchmarkStageBatched(b *testing.B)   { BenchStageBatched(b) }
+func BenchmarkStageUnbatched(b *testing.B) { BenchStageUnbatched(b) }
+
 // Allocs/op ceilings locked in by this change. The pre-change baselines
 // (Baseline*Allocs in micro.go) were measured at the seed; these ceilings
 // hold the pooled hot paths at their new level with a little headroom for
@@ -31,6 +36,11 @@ const (
 	// pooled buffers (XOR scratch, wire frame, server decode target, base
 	// copies). Steady state stays pool-served; the headroom absorbs jitter.
 	ceilCompressedStageAllocs = 60.0
+	// Batched stage path, amortized per block: the enqueue side is an append
+	// into the batch's pooled payload plus one record struct, and the frame /
+	// response / pull allocations amortize across MaxBlocks blocks — so the
+	// per-block budget sits far below the per-RPC ceilings above.
+	ceilBatchedStagePerBlockAllocs = 12.0
 )
 
 // skipUnderRace: the race detector's instrumentation allocates on its own,
@@ -96,6 +106,41 @@ func TestCompressedStagePutAllocsCeiling(t *testing.T) {
 	t.Logf("compressed stage put: %.1f allocs/op (ceiling %.1f)", allocs, ceilCompressedStageAllocs)
 	if allocs > ceilCompressedStageAllocs {
 		t.Errorf("compressed stage put allocs/op = %.1f, ceiling %.1f", allocs, ceilCompressedStageAllocs)
+	}
+}
+
+// TestBatchedStageAllocsCeiling holds the coalescing stage path to its
+// amortized per-block allocation budget: 64 small blocks staged into v3
+// batch frames plus the Flush barrier, measured per block. A fresh
+// (unpooled) payload or frame buffer per batch, or any per-block goroutine
+// sneaking back in, shows up here immediately.
+func TestBatchedStageAllocsCeiling(t *testing.T) {
+	skipUnderRace(t)
+	h, cleanup, err := stageBatchEnv("bench9-allocs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	h.SetBatching(core.BatchConfig{MaxAge: -1})
+	const blocks = 64
+	data := make([]byte, 4<<10)
+	for i := range data {
+		data[i] = byte(i * 131)
+	}
+	// Warm the pools and the per-target batch plumbing before measuring.
+	for i := 0; i < 3; i++ {
+		if err := stageBatchOp(h, blocks, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := stageBatchOp(h, blocks, data); err != nil {
+			t.Fatal(err)
+		}
+	}) / blocks
+	t.Logf("batched stage: %.2f allocs/block (ceiling %.1f)", allocs, ceilBatchedStagePerBlockAllocs)
+	if allocs > ceilBatchedStagePerBlockAllocs {
+		t.Errorf("batched stage allocs/block = %.2f, ceiling %.1f", allocs, ceilBatchedStagePerBlockAllocs)
 	}
 }
 

@@ -34,6 +34,7 @@ func All() []Experiment {
 		{"ext-shm", "extension: shared-memory vs cross-node MoNA (paper footnote 12)", ExtSharedMemory},
 		{"micro", "zero-copy hot path: allocs/op trajectory (BENCH_3)", MicroZeroCopy},
 		{"compress", "stage wire compression: codec ratios and adaptive reduction (BENCH_6)", MicroCompression},
+		{"batch", "batched stage path: throughput vs per-block staging (BENCH_9)", MicroStageBatch},
 	}
 }
 

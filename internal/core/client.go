@@ -20,6 +20,11 @@ import (
 // agreement after retries (e.g. persistent membership churn).
 var ErrActivateFailed = errors.New("colza: activate could not reach agreement")
 
+// ErrHandleClosed is returned by operations on a closed pipeline handle:
+// pending batched blocks fail with it, and an in-progress retry backoff is
+// cut short instead of burning the full schedule.
+var ErrHandleClosed = errors.New("colza: pipeline handle closed")
+
 // SpanKeyFor builds the client-side span key for a pipeline iteration
 // (rank -1 marks the simulation side, which has no staging rank).
 func SpanKeyFor(pipeline string, it uint64) obs.SpanKey {
@@ -258,7 +263,25 @@ type DistributedPipelineHandle struct {
 	rng        *rand.Rand
 
 	codec stageCodecState
+
+	// closed cancels retry backoffs and fails pending batched work when
+	// the handle is released (Close); closeOnce makes Close idempotent.
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	// batch, when non-nil, routes Stage/NBStage through the coalescing
+	// batcher (SetBatching, DESIGN.md §12).
+	batchMu sync.Mutex
+	batch   *stageBatcher
+
+	// nbSem bounds unbatched NBStage concurrency (lazily created).
+	nbOnce sync.Once
+	nbSem  chan struct{}
 }
+
+// nbStageWindow bounds concurrently in-flight unbatched NBStage calls per
+// handle: acquire before spawn, so the goroutine count is bounded too.
+const nbStageWindow = 16
 
 // Handle creates a distributed handle on pipeline, using contact (any
 // server address) to discover membership.
@@ -273,7 +296,77 @@ func (c *Client) Handle(pipeline, contact string) *DistributedPipelineHandle {
 		stageRetry: DefaultStageRetry,
 		viewRetry:  DefaultViewRetry,
 		rng:        rand.New(rand.NewSource(1)),
+		closed:     make(chan struct{}),
 	}
+}
+
+// Close releases the handle: every pending batched block fails with
+// ErrHandleClosed, in-flight retry backoffs are cut short, and further
+// staging is refused. Close is idempotent and does not touch the staging
+// area — a deactivated pipeline needs no remote teardown.
+func (h *DistributedPipelineHandle) Close() {
+	h.closeOnce.Do(func() { close(h.closed) })
+	if b := h.batcher(); b != nil {
+		b.close()
+	}
+}
+
+func (h *DistributedPipelineHandle) isClosed() bool {
+	select {
+	case <-h.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleepInterruptible sleeps d unless the handle closes first; it reports
+// whether the full sleep elapsed. Retry loops use it so a handle being
+// torn down returns promptly instead of serving out its backoff schedule.
+func (h *DistributedPipelineHandle) sleepInterruptible(d time.Duration) bool {
+	if d <= 0 {
+		return !h.isClosed()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-h.closed:
+		return false
+	}
+}
+
+// SetBatching engages the coalescing stage batcher: blocks bound for the
+// same server rank ride one multi-block frame, flushed on size/age/count
+// triggers and drained by Flush/Execute/Deactivate. Off by default — an
+// unbatched handle stages on the v2 wire path, byte for byte. The first
+// call wins; reconfiguring a live batcher is not supported.
+func (h *DistributedPipelineHandle) SetBatching(cfg BatchConfig) {
+	h.batchMu.Lock()
+	defer h.batchMu.Unlock()
+	if h.batch == nil {
+		h.batch = newStageBatcher(h, cfg)
+	}
+}
+
+func (h *DistributedPipelineHandle) batcher() *stageBatcher {
+	h.batchMu.Lock()
+	defer h.batchMu.Unlock()
+	return h.batch
+}
+
+// Flush is the explicit stage barrier: it dispatches every pending batch,
+// waits for all in-flight batches to complete, and returns the deferred
+// errors of this handle's batched sync Stage calls (joined). Without
+// batching it is a no-op. The iteration argument documents intent; one
+// batcher serves all iterations and drains fully.
+func (h *DistributedPipelineHandle) Flush(it uint64) error {
+	b := h.batcher()
+	if b == nil {
+		return nil
+	}
+	return b.flush()
 }
 
 // SetPlacement overrides the stage-target selection policy.
@@ -539,7 +632,23 @@ func (h *DistributedPipelineHandle) tryActivate(it uint64, view MemberView, time
 // duplicate a block the server already pulled, so staging is at-least-once:
 // pipelines that cannot tolerate duplicates must deduplicate on
 // (iteration, block id), which BlockMeta carries for exactly that purpose.
-func (h *DistributedPipelineHandle) Stage(it uint64, meta BlockMeta, data []byte) (err_ error) {
+//
+// With batching engaged (SetBatching) Stage instead copies the block into
+// the target rank's pending batch and returns immediately; the data buffer
+// is free for reuse on return, and send errors surface at the next barrier
+// (Flush, Execute, or Deactivate).
+func (h *DistributedPipelineHandle) Stage(it uint64, meta BlockMeta, data []byte) error {
+	if b := h.batcher(); b != nil {
+		return b.enqueue(it, meta, data, nil)
+	}
+	return h.stageBlock(it, meta, data, false)
+}
+
+// stageBlock is the per-block stage path: one frame, one RPC, retried
+// under the handle's policy. zeroBase forces a self-contained delta encode
+// from the first attempt (the batch path's mismatch fallback re-enters
+// here).
+func (h *DistributedPipelineHandle) stageBlock(it uint64, meta BlockMeta, data []byte, zeroBase bool) (err_ error) {
 	h.mu.Lock()
 	view := h.view
 	placement := h.placement
@@ -585,7 +694,7 @@ func (h *DistributedPipelineHandle) Stage(it uint64, meta BlockMeta, data []byte
 			bufpool.Put(wire)
 		}
 	}
-	setup(false)
+	setup(zeroBase)
 	defer func() { teardown() }()
 	var err error
 	for attempt := 0; attempt < retry.attempts(); attempt++ {
@@ -597,7 +706,12 @@ func (h *DistributedPipelineHandle) Stage(it uint64, meta BlockMeta, data []byte
 			if ra := BusyRetryAfter(err); ra > sleep {
 				sleep = ra
 			}
-			time.Sleep(sleep)
+			// The backoff aborts when the handle closes mid-sleep: a
+			// deactivating client must not serve out the whole schedule.
+			if !h.sleepInterruptible(sleep) {
+				err = fmt.Errorf("colza: stage aborted: %w", ErrHandleClosed)
+				break
+			}
 		}
 		start := time.Now()
 		_, err = h.c.call(view.Members[target].RPC, "stage", payload, timeout)
@@ -630,6 +744,13 @@ func (h *DistributedPipelineHandle) Stage(it uint64, meta BlockMeta, data []byte
 // per-rank results. The paper notes this is issued by a single client
 // process and coordinated across the servers.
 func (h *DistributedPipelineHandle) Execute(it uint64) (res_ []ExecResult, err_ error) {
+	// The execute barrier: every batched block must have landed (or failed,
+	// reported here) before the servers run the pipeline on the iteration.
+	if b := h.batcher(); b != nil {
+		if err := b.flush(); err != nil {
+			return nil, fmt.Errorf("colza: stage flush before execute: %w", err)
+		}
+	}
 	h.mu.Lock()
 	view := h.view
 	timeout := h.timeout
@@ -656,6 +777,13 @@ func (h *DistributedPipelineHandle) Execute(it uint64) (res_ []ExecResult, err_ 
 // Deactivate completes the iteration everywhere: staged data is released
 // and membership unfrozen, so servers may join and leave again.
 func (h *DistributedPipelineHandle) Deactivate(it uint64) (err_ error) {
+	// Same barrier as Execute: a deactivate must not race batches still in
+	// flight — the server would fail them with ErrNotActive.
+	if b := h.batcher(); b != nil {
+		if err := b.flush(); err != nil {
+			return fmt.Errorf("colza: stage flush before deactivate: %w", err)
+		}
+	}
 	h.mu.Lock()
 	view := h.view
 	timeout := h.timeout
@@ -728,9 +856,24 @@ func (h *DistributedPipelineHandle) NBActivate(it uint64) *Async {
 	})
 }
 
-// NBStage is the non-blocking Stage.
+// NBStage is the non-blocking Stage. With batching engaged the block joins
+// its rank's pending batch and the Async resolves when that batch
+// completes — no goroutine per call. Without batching, a window semaphore
+// acquired before the goroutine spawns bounds both in-flight stages and
+// live goroutines (the unbounded goroutine-per-call this replaces was a
+// goroutine bomb under a simulation staging thousands of blocks).
 func (h *DistributedPipelineHandle) NBStage(it uint64, meta BlockMeta, data []byte) *Async {
-	return asyncRun(func() asyncRes { return asyncRes{err: h.Stage(it, meta, data)} })
+	if b := h.batcher(); b != nil {
+		a := &Async{ch: make(chan asyncRes, 1)}
+		b.enqueue(it, meta, data, a)
+		return a
+	}
+	h.nbOnce.Do(func() { h.nbSem = make(chan struct{}, nbStageWindow) })
+	h.nbSem <- struct{}{}
+	return asyncRun(func() asyncRes {
+		defer func() { <-h.nbSem }()
+		return asyncRes{err: h.stageBlock(it, meta, data, false)}
+	})
 }
 
 // NBExecute is the non-blocking Execute; the simulation typically uses

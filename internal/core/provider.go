@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -147,6 +148,17 @@ type Provider struct {
 	codecIn        map[uint8]*obs.Counter
 	codecOut       map[uint8]*obs.Counter
 	deltas         *codec.DeltaState
+
+	// batchOff refuses stage_batch frames (operator toggle for wire-compat
+	// debugging; the per-block v2 path is unaffected).
+	batchOff atomic.Bool
+
+	// migrateSleep, when non-nil, replaces time.Sleep in the migrate retry
+	// so dessim-style tests cover the backoff without real sleeps;
+	// migrateRNG draws its jitter (leave-time migration runs on a single
+	// goroutine, so no extra locking).
+	migrateSleep func(time.Duration)
+	migrateRNG   *rand.Rand
 }
 
 // SetObserver routes this provider's metrics and spans (and the Margo
@@ -199,12 +211,14 @@ func NewProvider(mi *margo.Instance, mn *mona.Instance, group *ssg.Group) *Provi
 		ckpts:         make(map[ckptKey]*ckptEntry),
 		sentReplicas:  make(map[string][]string),
 		deltas:        codec.NewDeltaState(0),
+		migrateRNG:    rand.New(rand.NewSource(1)),
 	}
 	p.SetAcceptedCodecs(codec.IDs())
 	mi.RegisterProviderRPC(ProviderID, "prepare", p.handlePrepare)
 	mi.RegisterProviderRPC(ProviderID, "commit", p.handleCommit)
 	mi.RegisterProviderRPC(ProviderID, "abort", p.handleAbort)
 	mi.RegisterProviderRPC(ProviderID, "stage", p.handleStage)
+	mi.RegisterProviderRPC(ProviderID, "stage_batch", p.handleStageBatch)
 	mi.RegisterProviderRPC(ProviderID, "execute", p.handleExecute)
 	mi.RegisterProviderRPC(ProviderID, "deactivate", p.handleDeactivate)
 	mi.RegisterProviderRPC(ProviderID, "members", p.handleMembers)
@@ -243,7 +257,7 @@ func (p *Provider) BindPools(control, data *margo.Pool) {
 	// them off the control pool removes the mutual-wait cycle two servers
 	// checkpointing to each other would otherwise risk under a saturated
 	// control stream.
-	for _, rpc := range []string{"stage", "execute",
+	for _, rpc := range []string{"stage", "stage_batch", "execute",
 		"migrate_state", "checkpoint_state", "checkpoint_discard"} {
 		p.mi.BindRPCPool(margo.ProviderRPCName(ProviderID, rpc), data)
 	}
@@ -627,6 +641,124 @@ func (p *Provider) handleStage(req mercury.Request) ([]byte, error) {
 	return []byte("ok"), nil
 }
 
+// SetStageBatch toggles acceptance of batched stage frames (stagewire v3).
+// Accepted by default; refusing them never affects the per-block v2 path.
+func (p *Provider) SetStageBatch(accept bool) { p.batchOff.Store(!accept) }
+
+// handleStageBatch pulls a multi-block batch in one bulk transfer and
+// hands each block to the pipeline. Frame-level problems (malformed frame,
+// unknown pipeline, inactive iteration, failed pull, unaccepted codec) are
+// RPC errors — the client's whole-batch retry machinery applies. Per-block
+// decode and backend failures are demultiplexed into the response instead,
+// so one bad block cannot fail or re-send its batch-mates.
+func (p *Provider) handleStageBatch(req mercury.Request) ([]byte, error) {
+	if p.batchOff.Load() {
+		return nil, fmt.Errorf("colza: batched staging disabled on %s", p.mi.Addr())
+	}
+	pipeline, iteration, recs, bulk, err := decodeStageBatchMsg(req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	// Codec acceptance is a frame-level screen: a client that failed
+	// negotiation must learn it loudly, not land half a batch.
+	p.codecMu.RLock()
+	for _, r := range recs {
+		if _, known := codec.ByID(r.CI.CodecID); !known || !p.acceptedCodecs[r.CI.CodecID] {
+			p.codecMu.RUnlock()
+			return nil, fmt.Errorf("colza: stage codec %d not accepted by %s", r.CI.CodecID, p.mi.Addr())
+		}
+	}
+	p.codecMu.RUnlock()
+	slot, err := p.slot(pipeline)
+	if err != nil {
+		return nil, err
+	}
+	st, err := slot.enter(iteration, "stage_batch")
+	if err != nil {
+		return nil, err
+	}
+	defer st.inflight.Done()
+	reg := p.observer()
+	sp := reg.StartSpan("srv.stage_batch", obs.SpanKey{Pipeline: pipeline, Iteration: iteration, Rank: st.rank})
+	data := bufpool.Get(int(bulk.Size))
+	if err := p.mi.Class().PullBulkInto(bulk, data); err != nil {
+		bufpool.Put(data)
+		err = fmt.Errorf("colza: pulling staged batch: %w", err)
+		sp.End(err)
+		return nil, err
+	}
+	var blockErrs []stageBatchBlockErr
+	off := 0
+	for i, r := range recs {
+		wire := data[off : off+r.PayloadLen]
+		off += r.PayloadLen
+		if kind, berr := p.stageBatchedBlock(slot, pipeline, iteration, r, wire, reg); berr != nil {
+			blockErrs = append(blockErrs, stageBatchBlockErr{Index: i, Kind: kind, Msg: berr.Error()})
+		}
+	}
+	bufpool.Put(data)
+	sp.End(nil)
+	// The response buffer leaves this handler's ownership (the transport
+	// holds it until the reply is sent), so it is not drawn from the pool.
+	return appendStageBatchResp(make([]byte, 0, stageBatchRespSize(blockErrs)), blockErrs), nil
+}
+
+// stageBatchedBlock decodes one batched record's payload slice and hands
+// it to the backend — the per-block half of handleStage, with the error
+// mapped to a demux kind instead of failing the RPC. wire aliases the
+// batch's pulled buffer; decode targets draw their own pooled buffer and
+// are recycled before return.
+func (p *Provider) stageBatchedBlock(slot *pipelineSlot, pipeline string, iteration uint64, r stageBatchRec, wire []byte, reg *obs.Registry) (uint8, error) {
+	ci, meta := r.CI, r.Meta
+	c, _ := codec.ByID(ci.CodecID) // screened at the frame level
+	data := wire
+	pooled := false
+	if ci.CodecID == codec.RawID {
+		if ci.Uncompressed != uint64(len(wire)) || ci.HasBase {
+			return stageBatchErrRemote, fmt.Errorf("%w: raw record length mismatch", ErrStageWire)
+		}
+	} else {
+		buf := bufpool.Get(int(ci.Uncompressed))
+		dec, derr := c.Decode(buf[:0], wire, int(ci.Uncompressed))
+		if derr != nil {
+			bufpool.Put(buf)
+			return stageBatchErrRemote, fmt.Errorf("colza: stage decode (%s): %w", c.Name(), derr)
+		}
+		data = dec
+		pooled = true
+		if ci.HasBase {
+			key := codec.DeltaKey{Pipeline: pipeline, Field: meta.Field, Block: meta.BlockID}
+			if !p.deltas.XORBase(key, ci.DeltaBase, data) {
+				bufpool.Put(data)
+				reg.Counter("codec.delta.mismatch", "pipeline", pipeline).Inc()
+				return stageBatchErrDeltaMismatch,
+					fmt.Errorf("%s: pipeline %q block %d base %d", deltaMismatchText, pipeline, meta.BlockID, ci.DeltaBase)
+			}
+		}
+	}
+	if ci.Remember {
+		p.deltas.Remember(codec.DeltaKey{Pipeline: pipeline, Field: meta.Field, Block: meta.BlockID}, iteration, data)
+	}
+	err := slot.backend.Stage(iteration, meta, data)
+	n := len(data)
+	if pooled {
+		bufpool.Put(data)
+	}
+	if err != nil {
+		return stageBatchErrRemote, err
+	}
+	p.codecMu.RLock()
+	ctrIn, ctrOut := p.codecIn[ci.CodecID], p.codecOut[ci.CodecID]
+	p.codecMu.RUnlock()
+	if ctrIn != nil {
+		ctrIn.Add(int64(len(wire)))
+		ctrOut.Add(int64(n))
+	}
+	reg.Counter("colza.staged.bytes", "pipeline", pipeline).Add(int64(n))
+	reg.Counter("colza.staged.blocks", "pipeline", pipeline).Inc()
+	return 0, nil
+}
+
 // enter registers an in-flight stage/execute handler on the iteration,
 // failing if the iteration is absent, mismatched, or already draining. The
 // caller must st.inflight.Done() when the backend call returns.
@@ -894,26 +1026,53 @@ func (p *Provider) migrateStatefulPipelines() MigrationStatus {
 	return status
 }
 
-// migrateCall sends one migrate_state transfer, retrying once with backoff
-// on transient failures. Every failed attempt counts into
+// migrateRetry bounds the migrate_state resend: two attempts with a
+// jittered backoff between them — the same shape as every other retry in
+// the repo (the bare 50ms time.Sleep this replaces was neither jittered
+// nor clock-injectable, so no test ever covered it without a real sleep).
+var migrateRetry = RetryPolicy{Max: 2, Base: 50 * time.Millisecond, Cap: 200 * time.Millisecond, Jitter: 0.5}
+
+// sleepMigrate waits out a migrate backoff through the injectable clock.
+func (p *Provider) sleepMigrate(d time.Duration) {
+	p.mu.Lock()
+	fn := p.migrateSleep
+	p.mu.Unlock()
+	if fn != nil {
+		fn(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// SetMigrateSleep injects the migrate retry's sleep function (tests cover
+// the backoff without real sleeps); nil restores time.Sleep.
+func (p *Provider) SetMigrateSleep(fn func(time.Duration)) {
+	p.mu.Lock()
+	p.migrateSleep = fn
+	p.mu.Unlock()
+}
+
+// migrateCall sends one migrate_state transfer, retrying transient
+// failures under migrateRetry. Every failed attempt counts into
 // core.migrate.errors — the bug this replaces discarded the call result
 // outright. A remote refusal (the peer answered: it is leaving too, or the
 // pipeline is missing or stateless there) is final for this target; the
 // caller moves on to the next ring member.
 func (p *Provider) migrateCall(addr string, payload []byte) error {
 	reg := p.observer()
-	_, err := p.mi.CallProvider(addr, ProviderID, "migrate_state", payload, 10*time.Second)
-	if err == nil {
-		return nil
-	}
-	reg.Counter("core.migrate.errors").Inc()
-	if Classify(err) == ClassRemote {
-		return err
-	}
-	time.Sleep(50 * time.Millisecond)
-	_, err = p.mi.CallProvider(addr, ProviderID, "migrate_state", payload, 10*time.Second)
-	if err != nil {
+	var err error
+	for attempt := 0; attempt < migrateRetry.attempts(); attempt++ {
+		if attempt > 0 {
+			p.sleepMigrate(migrateRetry.Backoff(attempt-1, p.migrateRNG))
+		}
+		_, err = p.mi.CallProvider(addr, ProviderID, "migrate_state", payload, 10*time.Second)
+		if err == nil {
+			return nil
+		}
 		reg.Counter("core.migrate.errors").Inc()
+		if Classify(err) == ClassRemote {
+			return err
+		}
 	}
 	return err
 }

@@ -82,6 +82,11 @@ type PipelineHandle struct {
 	epoch   uint64
 
 	codec stageCodecState
+
+	// nbSem bounds in-flight NBStage calls (lazily created): acquire
+	// before spawn, so the goroutine count is bounded too.
+	nbOnce sync.Once
+	nbSem  chan struct{}
 }
 
 // SoloHandle creates a handle on the pipeline instance at one server.
@@ -196,9 +201,17 @@ func (h *PipelineHandle) NBActivate(it uint64) *Async {
 	return asyncRun(func() asyncRes { return asyncRes{err: h.Activate(it)} })
 }
 
-// NBStage is the non-blocking Stage.
+// NBStage is the non-blocking Stage. A window semaphore acquired before
+// the goroutine spawns bounds in-flight stages and live goroutines alike;
+// the control-plane NB variants stay unbounded on purpose — they run once
+// per iteration, not once per block.
 func (h *PipelineHandle) NBStage(it uint64, meta BlockMeta, data []byte) *Async {
-	return asyncRun(func() asyncRes { return asyncRes{err: h.Stage(it, meta, data)} })
+	h.nbOnce.Do(func() { h.nbSem = make(chan struct{}, nbStageWindow) })
+	h.nbSem <- struct{}{}
+	return asyncRun(func() asyncRes {
+		defer func() { <-h.nbSem }()
+		return asyncRes{err: h.Stage(it, meta, data)}
+	})
 }
 
 // NBExecute is the non-blocking Execute.

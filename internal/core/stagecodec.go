@@ -203,23 +203,32 @@ func (s *stageCodecState) encodeStage(pipeline string, it uint64, meta BlockMeta
 // codec.bytes.out the wire bytes leaving; codec.ratio is permille
 // (wire*1000/uncompressed).
 func (s *stageCodecState) recordSuccess(reg *obs.Registry, pipeline string, it uint64, meta BlockMeta, data []byte, ci stageCodecInfo, used codec.Codec, wireLen int, encNs, rpcNs int64) {
+	s.recordStaged(reg, pipeline, it, meta, data, len(data), ci, used, wireLen, encNs, rpcNs)
+}
+
+// recordStaged is recordSuccess for callers that may no longer hold the
+// original block (the batched path): dataLen carries the uncompressed
+// length for the metrics, and data may be nil — the delta base is then not
+// remembered. The batcher keeps a pooled copy whenever ci.Remember is set,
+// so nil data only ever pairs with non-delta codecs.
+func (s *stageCodecState) recordStaged(reg *obs.Registry, pipeline string, it uint64, meta BlockMeta, data []byte, dataLen int, ci stageCodecInfo, used codec.Codec, wireLen int, encNs, rpcNs int64) {
 	if used == nil {
 		return
 	}
 	name := used.Name()
-	reg.Counter("codec.bytes.in", "codec", name).Add(int64(len(data)))
+	reg.Counter("codec.bytes.in", "codec", name).Add(int64(dataLen))
 	reg.Counter("codec.bytes.out", "codec", name).Add(int64(wireLen))
-	if len(data) > 0 {
-		reg.Gauge("codec.ratio", "codec", name).Set(int64(wireLen) * 1000 / int64(len(data)))
-		reg.Gauge("codec.encode_ns_per_mb", "codec", name).Set(encNs * (1 << 20) / int64(len(data)))
+	if dataLen > 0 {
+		reg.Gauge("codec.ratio", "codec", name).Set(int64(wireLen) * 1000 / int64(dataLen))
+		reg.Gauge("codec.encode_ns_per_mb", "codec", name).Set(encNs * (1 << 20) / int64(dataLen))
 	}
 	s.mu.Lock()
 	sel := s.selector
 	s.mu.Unlock()
 	if sel != nil {
-		sel.Record(used, len(data), wireLen, encNs, rpcNs)
+		sel.Record(used, dataLen, wireLen, encNs, rpcNs)
 	}
-	if ci.Remember {
+	if ci.Remember && data != nil {
 		s.deltaState().Remember(codec.DeltaKey{Pipeline: pipeline, Field: meta.Field, Block: meta.BlockID}, it, data)
 	}
 }
