@@ -31,14 +31,18 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzCodecDecode -fuzztime=10s ./internal/codec/
 	$(GO) test -run=NONE -fuzz=FuzzStageFrameDecode -fuzztime=10s ./internal/core/
 	$(GO) test -run=NONE -fuzz=FuzzStageBatchDecode -fuzztime=10s ./internal/core/
+	$(GO) test -run=NONE -fuzz=FuzzShmFrameDecode -fuzztime=10s ./internal/na/
 
 # Zero-copy hot-path smoke: one racing pass over the micro-benchmarks
 # (correctness under -race), then the allocs/op regression gates in a pure
 # build (the ceilings exclude race-instrumentation overhead). See
 # internal/bench/micro.go and BENCH_3.json.
 bench-smoke:
-	$(GO) test -race -run NONE -bench 'BenchmarkStagePut|BenchmarkBulkPull|BenchmarkCompositePooled|BenchmarkStageSaturation|BenchmarkStageBatched' -benchtime=1x ./internal/bench/
+	$(GO) test -race -run NONE -bench 'BenchmarkStagePut|BenchmarkBulkPull|BenchmarkCompositePooled|BenchmarkStageSaturation|BenchmarkStageBatched|BenchmarkStageOverSM' -benchtime=1x ./internal/bench/
 	$(GO) test -count=1 -run 'AllocsCeiling' ./internal/bench/
+	# Codec kernel before/after: word-wise shuffle/XOR next to their
+	# byte-wise references (see internal/codec/kernels.go).
+	$(GO) test -run NONE -bench 'Kernel' -benchtime=100x ./internal/codec/
 
 # Focused run of the chaos/fault-injection suites.
 chaos:

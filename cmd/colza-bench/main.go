@@ -30,6 +30,7 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "run the zero-copy micro-benchmarks and write the BENCH_3.json trajectory point to this path")
 	bench6JSON := flag.String("bench6json", "", "run the wire-compression micro-benchmarks and write the BENCH_6.json trajectory point to this path")
 	bench9JSON := flag.String("bench9json", "", "run the batched-vs-unbatched stage benchmarks and write the BENCH_9.json trajectory point to this path")
+	bench10JSON := flag.String("bench10json", "", "run the sm-vs-TCP stage benchmarks and write the BENCH_10.json trajectory point to this path")
 	flag.Parse()
 
 	catalyst.Register()
@@ -70,7 +71,19 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *bench9JSON)
 	}
-	if (*benchJSON != "" || *bench6JSON != "" || *bench9JSON != "") && flag.NArg() == 0 {
+	if *bench10JSON != "" {
+		data, err := bench.ShmTrajectoryJSON(*quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*bench10JSON, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *bench10JSON)
+	}
+	if (*benchJSON != "" || *bench6JSON != "" || *bench9JSON != "" || *bench10JSON != "") && flag.NArg() == 0 {
 		return
 	}
 

@@ -236,10 +236,13 @@ func TestAblationsRun(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 20 {
-		t.Fatalf("%d experiments registered, want 20", len(all))
+	if len(all) != 21 {
+		t.Fatalf("%d experiments registered, want 21", len(all))
 	}
 	if _, err := Lookup("batch"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("smstage"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Lookup("fig9"); err != nil {

@@ -23,6 +23,11 @@ func BenchmarkStageSaturation(b *testing.B) { BenchStageSaturation(b) }
 func BenchmarkStageBatched(b *testing.B)   { BenchStageBatched(b) }
 func BenchmarkStageUnbatched(b *testing.B) { BenchStageUnbatched(b) }
 
+// Shared-memory transport (sm://, see shm.go); the TCP twin runs the
+// identical shape over loopback sockets for the BENCH_10 comparison.
+func BenchmarkStageOverSM(b *testing.B)  { BenchStageOverSM(b) }
+func BenchmarkStageOverTCP(b *testing.B) { BenchStageOverTCP(b) }
+
 // Allocs/op ceilings locked in by this change. The pre-change baselines
 // (Baseline*Allocs in micro.go) were measured at the seed; these ceilings
 // hold the pooled hot paths at their new level with a little headroom for

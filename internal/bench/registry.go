@@ -35,6 +35,7 @@ func All() []Experiment {
 		{"micro", "zero-copy hot path: allocs/op trajectory (BENCH_3)", MicroZeroCopy},
 		{"compress", "stage wire compression: codec ratios and adaptive reduction (BENCH_6)", MicroCompression},
 		{"batch", "batched stage path: throughput vs per-block staging (BENCH_9)", MicroStageBatch},
+		{"smstage", "shared-memory transport: stage throughput vs TCP loopback (BENCH_10)", MicroShmStage},
 	}
 }
 

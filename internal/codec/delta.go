@@ -183,20 +183,4 @@ func (s *DeltaState) Bytes() int {
 	return s.bytes
 }
 
-func xorInto(dst, src []byte) {
-	n := len(dst)
-	i := 0
-	for ; i+8 <= n; i += 8 {
-		dst[i] ^= src[i]
-		dst[i+1] ^= src[i+1]
-		dst[i+2] ^= src[i+2]
-		dst[i+3] ^= src[i+3]
-		dst[i+4] ^= src[i+4]
-		dst[i+5] ^= src[i+5]
-		dst[i+6] ^= src[i+6]
-		dst[i+7] ^= src[i+7]
-	}
-	for ; i < n; i++ {
-		dst[i] ^= src[i]
-	}
-}
+// xorInto lives in kernels.go: a word-wise XOR with byte-wise tail.

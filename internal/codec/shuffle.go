@@ -144,31 +144,8 @@ func appendShuffleRLE(dst, src []byte, stride int) []byte {
 	return dst
 }
 
-// shuffleBytes transposes the aligned prefix of src so byte j of every
-// stride-sized element is contiguous — dst[j*rows+i] = src[i*stride+j] —
-// and carries any sub-stride tail verbatim at the end.
-func shuffleBytes(dst, src []byte, stride int) {
-	rows := len(src) / stride
-	for j := 0; j < stride; j++ {
-		o := j * rows
-		for i := 0; i < rows; i++ {
-			dst[o+i] = src[i*stride+j]
-		}
-	}
-	copy(dst[rows*stride:], src[rows*stride:])
-}
-
-// unshuffleBytes inverts shuffleBytes.
-func unshuffleBytes(dst, src []byte, stride int) {
-	rows := len(src) / stride
-	for j := 0; j < stride; j++ {
-		o := j * rows
-		for i := 0; i < rows; i++ {
-			dst[i*stride+j] = src[o+i]
-		}
-	}
-	copy(dst[rows*stride:], src[rows*stride:])
-}
+// shuffleBytes/unshuffleBytes live in kernels.go: word-wise transposes
+// for strides 4 and 8 with a byte-wise reference for the rest.
 
 // The RLE stream is a PackBits-style token code:
 //

@@ -62,7 +62,8 @@ func TestCommandLineDeployment(t *testing.T) {
 		// through the shuffle codec it negotiates.
 		cmd := exec.Command(serverBin,
 			"-listen", "127.0.0.1:0", "-listen-mona", "127.0.0.1:0",
-			"-connfile", connFile, "-gossip-ms", "20", "-codec", "shuffle")
+			"-connfile", connFile, "-gossip-ms", "20", "-codec", "shuffle",
+			"-sm-dir", dir)
 		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
@@ -281,7 +282,7 @@ func TestElasticCommandLine(t *testing.T) {
 	startServer := func(name string, extra ...string) {
 		args := append([]string{
 			"-listen", "127.0.0.1:0", "-listen-mona", "127.0.0.1:0",
-			"-connfile", connFile, "-gossip-ms", "20"}, extra...)
+			"-connfile", connFile, "-gossip-ms", "20", "-sm-dir", dir}, extra...)
 		cmd := exec.Command(serverBin, args...)
 		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr
@@ -410,7 +411,7 @@ func TestElasticProcessRelaunchCarriesController(t *testing.T) {
 	// batch triggers a launch. The 30s cooldown keeps it to one.
 	cmd := exec.Command(serverBin,
 		"-listen", "127.0.0.1:0", "-listen-mona", "127.0.0.1:0",
-		"-connfile", connFile, "-gossip-ms", "20",
+		"-connfile", connFile, "-gossip-ms", "20", "-sm-dir", dir,
 		"-elastic", "-elastic-target", "2ms", "-elastic-poll", "50ms",
 		"-elastic-cooldown", "30s", "-elastic-ceiling", "2")
 	cmd.Stdout = os.Stderr

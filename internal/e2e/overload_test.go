@@ -198,7 +198,15 @@ func TestOverloadShedsAndRecovers(t *testing.T) {
 		t.Error("margo.pool.wait{pool=data} recorded no dispatches")
 	}
 
-	// 5. The storm drains completely: goroutines return to the baseline
+	// 5. The transport receive queue is not silently accumulating: the
+	// unbounded pktQueue's blind spot is covered by the depth gauge, which
+	// must be back at zero (baseline) once the storm is over. The
+	// high-water mark is reported in the same snapshot for inspection.
+	if depth := s.Obs.Gauge("na.queue.depth", "transport", "inproc").Value(); depth != 0 {
+		t.Errorf("na.queue.depth{transport=inproc} = %d after storm, want 0 (receive queue not drained)", depth)
+	}
+
+	// 6. The storm drains completely: goroutines return to the baseline
 	// (pool workers are long-lived and were part of it).
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"colza/internal/na"
 )
 
 // Bulk is a handle to a registered memory region on some process. It is
@@ -70,6 +72,15 @@ func (c *Class) Expose(buf []byte) Bulk {
 	c.bulks[id] = buf
 	c.bmu.Unlock()
 	c.observer().Gauge("mercury.bulk.exposed.bytes").Add(int64(len(buf)))
+	// On a shared-memory-capable transport, additionally publish the
+	// region in the endpoint's shared segment so colocated pullers can
+	// copy it straight out of mapped memory. Best-effort: on any failure
+	// pulls simply use the RPC path against c.bulks. IDs are never reused
+	// (nextBk only grows), so a stale publication can never alias a new
+	// region.
+	if lb, ok := c.ep.(na.LocalBulk); ok {
+		lb.ExposeLocal(id, buf)
+	}
 	return Bulk{Addr: c.Addr(), ID: id, Size: len(buf)}
 }
 
@@ -83,6 +94,9 @@ func (c *Class) Release(b Bulk) {
 	c.bmu.Unlock()
 	if ok {
 		c.observer().Gauge("mercury.bulk.exposed.bytes").Add(int64(-b.Size))
+		if lb, lok := c.ep.(na.LocalBulk); lok {
+			lb.ReleaseLocal(b.ID)
+		}
 	}
 }
 
@@ -190,6 +204,17 @@ func (c *Class) pullRange(b Bulk, off int, dst []byte) error {
 	}
 	if n == 0 {
 		return nil
+	}
+	// Cross-process zero-copy path: if the transport can map the
+	// exposer's shared segment, copy the range straight out of it and
+	// skip the chunked request/response protocol entirely. done=false
+	// (region not published, peer not colocated, seqlock churn) falls
+	// through to the RPC pulls, which remain authoritative — notably for
+	// use-after-release, which must surface as ErrBadBulk.
+	if lb, ok := c.ep.(na.LocalBulk); ok {
+		if done, err := lb.PullLocal(b.Addr, b.ID, off, dst); done {
+			return err
+		}
 	}
 	chunk := c.bulkChunkSize()
 	nchunks := (n + chunk - 1) / chunk

@@ -1,0 +1,85 @@
+package mercury
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"colza/internal/na"
+	"colza/internal/obs"
+)
+
+func smClassPair(t *testing.T) (*Class, *Class, *obs.Registry, *obs.Registry) {
+	t.Helper()
+	dir := t.TempDir()
+	epA, err := na.ListenDual("127.0.0.1:0", dir, "a")
+	if err != nil {
+		t.Fatalf("ListenDual a: %v", err)
+	}
+	epB, err := na.ListenDual("127.0.0.1:0", dir, "b")
+	if err != nil {
+		t.Fatalf("ListenDual b: %v", err)
+	}
+	ca, cb := New(epA), New(epB)
+	t.Cleanup(func() { ca.Close(); cb.Close() })
+	ra, rb := obs.NewRegistry(), obs.NewRegistry()
+	ca.SetObserver(ra)
+	cb.SetObserver(rb)
+	return ca, cb, ra, rb
+}
+
+// TestBulkPullOverSharedMemory: pulls against an sm-capable exposer copy
+// straight out of the exposer's mapped segment — the chunked bulk-pull
+// RPC never runs.
+func TestBulkPullOverSharedMemory(t *testing.T) {
+	ca, cb, ra, rb := smClassPair(t)
+	payload := make([]byte, 256<<10)
+	for i := range payload {
+		payload[i] = byte(i * 131)
+	}
+	b := ca.Expose(payload)
+	defer ca.Release(b)
+
+	got, err := cb.PullBulk(b)
+	if err != nil {
+		t.Fatalf("PullBulk: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("pulled bytes differ")
+	}
+	sub, err := cb.PullBulkRange(b, 1000, 500)
+	if err != nil {
+		t.Fatalf("PullBulkRange: %v", err)
+	}
+	if !bytes.Equal(sub, payload[1000:1500]) {
+		t.Fatal("ranged pull bytes differ")
+	}
+	if got := rb.Counter("na.shm.pull.local").Value(); got != 2 {
+		t.Fatalf("na.shm.pull.local = %d, want 2", got)
+	}
+	if got := rb.Counter("mercury.call.count{rpc=__mercury/bulk_pull}").Value(); got != 0 {
+		t.Fatalf("bulk-pull RPC ran %d times; zero-copy path missed", got)
+	}
+	if got := ra.Gauge("na.shm.mapped.bytes").Value(); got != int64(len(payload)) {
+		t.Fatalf("na.shm.mapped.bytes = %d, want %d", got, len(payload))
+	}
+}
+
+// TestBulkUseAfterReleaseOverSM: after Release the shared slot is
+// withdrawn and the pull falls back to the RPC path, which stays
+// authoritative and reports ErrBadBulk — the §7 guard survives the
+// zero-copy shortcut.
+func TestBulkUseAfterReleaseOverSM(t *testing.T) {
+	ca, cb, ra, _ := smClassPair(t)
+	payload := make([]byte, 8<<10)
+	b := ca.Expose(payload)
+	ca.Release(b)
+	// The failure crosses the wire as a remote error, so match the
+	// ErrBadBulk text rather than the sentinel value.
+	if _, err := cb.PullBulk(b); err == nil || !strings.Contains(err.Error(), ErrBadBulk.Error()) {
+		t.Fatalf("use-after-release: want remote ErrBadBulk, got %v", err)
+	}
+	if got := ra.Gauge("na.shm.mapped.bytes").Value(); got != 0 {
+		t.Fatalf("released region still mapped: %d bytes", got)
+	}
+}

@@ -1,0 +1,231 @@
+package na
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"colza/internal/obs"
+)
+
+func dualPair(t *testing.T, opts SMOptions) (*DualEndpoint, *DualEndpoint) {
+	t.Helper()
+	dir := t.TempDir()
+	a, err := ListenDualOptions("127.0.0.1:0", dir, "a", opts)
+	if err != nil {
+		t.Fatalf("ListenDual a: %v", err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := ListenDualOptions("127.0.0.1:0", dir, "b", opts)
+	if err != nil {
+		t.Fatalf("ListenDual b: %v", err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return a, b
+}
+
+// logCapture collects route-decision log lines.
+type logCapture struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (lc *logCapture) logf(format string, args ...any) {
+	lc.mu.Lock()
+	lc.lines = append(lc.lines, fmt.Sprintf(format, args...))
+	lc.mu.Unlock()
+}
+
+func (lc *logCapture) joined() string {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return strings.Join(lc.lines, "\n")
+}
+
+// TestDualPrefersSMOverLoopbackTCP is the regression test for the routing
+// bugfix: when a connection file lists both an sm and a tcp address for a
+// colocated peer, the sender must ride shared memory, not dial loopback
+// TCP — and the choice must be logged and counted.
+func TestDualPrefersSMOverLoopbackTCP(t *testing.T) {
+	a, b := dualPair(t, SMOptions{})
+	var lc logCapture
+	a.logf = lc.logf
+	reg := obs.NewRegistry()
+	a.SetObserver(reg)
+
+	if err := a.Send(b.Addr(), []byte("hello")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	from, data, err := b.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if from != a.Addr() || string(data) != "hello" {
+		t.Fatalf("got %q from %q", data, from)
+	}
+	if got := reg.Counter("na.route.sm_preferred").Value(); got != 1 {
+		t.Fatalf("na.route.sm_preferred = %d, want 1", got)
+	}
+	if got := reg.Counter("na.route.tcp_fallback").Value(); got != 0 {
+		t.Fatalf("na.route.tcp_fallback = %d, want 0", got)
+	}
+	if !strings.Contains(lc.joined(), "via sm") {
+		t.Fatalf("route decision not logged: %q", lc.joined())
+	}
+	// The frame must actually have ridden the ring, not loopback TCP.
+	if got := reg.Counter("na.shm.frames.tx").Value(); got != 1 {
+		t.Fatalf("na.shm.frames.tx = %d, want 1 (frame took TCP?)", got)
+	}
+	// Subsequent sends reuse the pinned route without re-probing.
+	if err := a.Send(b.Addr(), []byte("again")); err != nil {
+		t.Fatalf("send 2: %v", err)
+	}
+	if _, _, err := b.Recv(); err != nil {
+		t.Fatalf("recv 2: %v", err)
+	}
+	if got := reg.Counter("na.route.sm_preferred").Value(); got != 1 {
+		t.Fatalf("route decision recounted: %d", got)
+	}
+}
+
+// TestDualFallsBackToTCP: a peer whose sm component is unreachable (dead
+// segment base) still gets its frames, over the tcp component.
+func TestDualFallsBackToTCP(t *testing.T) {
+	a, b := dualPair(t, SMOptions{})
+	var lc logCapture
+	a.logf = lc.logf
+	reg := obs.NewRegistry()
+	a.SetObserver(reg)
+
+	_, tcpPart := SplitAddr(b.Addr())
+	ghost := DualAddr("sm://"+smHostID()+"/nonexistent/segment/base", tcpPart)
+	if err := a.Send(ghost, []byte("via wire")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	_, data, err := b.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if string(data) != "via wire" {
+		t.Fatalf("got %q", data)
+	}
+	if got := reg.Counter("na.route.tcp_fallback").Value(); got != 1 {
+		t.Fatalf("na.route.tcp_fallback = %d, want 1", got)
+	}
+	if !strings.Contains(lc.joined(), "via tcp") {
+		t.Fatalf("fallback not logged: %q", lc.joined())
+	}
+}
+
+// TestDualOversizedFrameTakesTCP: frames beyond the ring limit slip over
+// the tcp component transparently, without disturbing the sm route pin.
+func TestDualOversizedFrameTakesTCP(t *testing.T) {
+	a, b := dualPair(t, SMOptions{RingBytes: minRingBytes})
+	reg := obs.NewRegistry()
+	a.SetObserver(reg)
+
+	small := []byte("rides the ring")
+	if err := a.Send(b.Addr(), small); err != nil {
+		t.Fatalf("small send: %v", err)
+	}
+	big := make([]byte, minRingBytes) // > MaxFrame (= RingBytes/2)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := a.Send(b.Addr(), big); err != nil {
+		t.Fatalf("big send: %v", err)
+	}
+	sawBig := false
+	for i := 0; i < 2; i++ {
+		_, data, err := b.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if len(data) == len(big) {
+			sawBig = true
+			for j, v := range data {
+				if v != byte(j) {
+					t.Fatalf("big frame corrupted at %d", j)
+				}
+			}
+		}
+	}
+	if !sawBig {
+		t.Fatal("oversized frame never arrived")
+	}
+	if got := reg.Counter("na.shm.frames.tx").Value(); got != 1 {
+		t.Fatalf("na.shm.frames.tx = %d, want 1 (only the small frame)", got)
+	}
+}
+
+// TestDualFaultPlanCoversSMRoute: chaos hooks apply to frames routed over
+// shared memory exactly as over TCP.
+func TestDualFaultPlanCoversSMRoute(t *testing.T) {
+	a, b := dualPair(t, SMOptions{})
+	plan := NewFaultPlan(3)
+	plan.Add(FaultRule{Nth: 1, Drop: true})
+	a.SetFaultPlan(plan)
+	if err := a.Send(b.Addr(), []byte("dropped")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if err := a.Send(b.Addr(), []byte("arrives")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	_, data, err := b.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if string(data) != "arrives" {
+		t.Fatalf("dropped frame leaked: %q", data)
+	}
+}
+
+// TestPlainTCPAcceptsCompositeAddr: a tcp-only endpoint handed a
+// composite address uses the tcp component (mixed deployments where some
+// processes are sm-capable and some are not).
+func TestPlainTCPAcceptsCompositeAddr(t *testing.T) {
+	recv, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen recv: %v", err)
+	}
+	defer recv.Close()
+	send, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen send: %v", err)
+	}
+	defer send.Close()
+	composite := DualAddr("sm://"+smHostID()+"/no/such/base", recv.Addr())
+	if err := send.Send(composite, []byte("tcp leg")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	_, data, err := recv.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if string(data) != "tcp leg" {
+		t.Fatalf("got %q", data)
+	}
+}
+
+func TestSplitAndDualAddr(t *testing.T) {
+	sm, tcp := SplitAddr("sm+tcp://host/a/b;1.2.3.4:99")
+	if sm != "sm://host/a/b" || tcp != "tcp://1.2.3.4:99" {
+		t.Fatalf("split composite: %q / %q", sm, tcp)
+	}
+	if got := DualAddr(sm, tcp); got != "sm+tcp://host/a/b;1.2.3.4:99" {
+		t.Fatalf("recompose: %q", got)
+	}
+	if sm, tcp := SplitAddr("tcp://x:1"); sm != "" || tcp != "tcp://x:1" {
+		t.Fatalf("split plain tcp: %q / %q", sm, tcp)
+	}
+	if sm, tcp := SplitAddr("sm://h/p"); sm != "sm://h/p" || tcp != "" {
+		t.Fatalf("split plain sm: %q / %q", sm, tcp)
+	}
+	if sm, tcp := SplitAddr("inproc://x"); sm != "" || tcp != "" {
+		t.Fatalf("split inproc: %q / %q", sm, tcp)
+	}
+	if sm, tcp := SplitAddr("sm+tcp://missing-separator"); sm != "" || tcp != "" {
+		t.Fatalf("split malformed composite: %q / %q", sm, tcp)
+	}
+}

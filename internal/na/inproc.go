@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"colza/internal/obs"
 )
 
 // InprocNetwork hosts any number of in-process endpoints. It is how the
@@ -145,6 +147,14 @@ type inprocEP struct {
 }
 
 func (e *inprocEP) Addr() string { return e.addr }
+
+// SetObserver routes the endpoint's receive-queue depth into r.
+func (e *inprocEP) SetObserver(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	e.q.setDepthGauge(r.Gauge("na.queue.depth", "transport", "inproc"))
+}
 
 func (e *inprocEP) Send(to string, data []byte) error {
 	n := e.net

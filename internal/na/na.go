@@ -12,6 +12,9 @@ package na
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
+
+	"colza/internal/obs"
 )
 
 // Common errors returned by endpoints.
@@ -39,6 +42,41 @@ type Endpoint interface {
 	Close() error
 }
 
+// Observable is implemented by endpoints that can report transport metrics
+// (receive-queue depth, frame counters) into a registry. The RPC layer
+// forwards its own SetObserver here so per-server registries see their
+// endpoint's numbers without extra wiring.
+type Observable interface {
+	SetObserver(r *obs.Registry)
+}
+
+// LocalBulk is the capability interface behind cross-process zero-copy
+// bulk handoff (the sm:// transport implements it; see shm.go). An
+// endpoint that supports it lets the RPC layer publish exposed bulk
+// regions in a shared-memory segment and lets same-host pullers copy the
+// bytes straight out of the exposer's segment — no chunked
+// request/response protocol, no kernel socket copies.
+//
+// Every method is best-effort: a false/not-done return means the caller
+// must fall back to the ordinary pull path, which stays authoritative for
+// use-after-release errors. ExposeLocal snapshots buf (the segment holds
+// its own copy), so the §7 ownership rule — buffer unchanged until
+// Release — is preserved even against pulls that race a release.
+type LocalBulk interface {
+	// ExposeLocal publishes buf under the bulk registration id. False
+	// means the region was not published (no segment, table collision,
+	// arena full) and pulls will use the RPC path.
+	ExposeLocal(id uint64, buf []byte) bool
+	// ReleaseLocal withdraws a published region. Safe to call for ids
+	// that were never published.
+	ReleaseLocal(id uint64)
+	// PullLocal copies len(dst) bytes starting at off of the region id
+	// published by the endpoint at ownerAddr. done=false means the
+	// caller must fall back to the RPC pull path; done=true with nil err
+	// means dst holds the bytes.
+	PullLocal(ownerAddr string, id uint64, off int, dst []byte) (done bool, err error)
+}
+
 // packet is one in-flight message.
 type packet struct {
 	from string
@@ -47,18 +85,35 @@ type packet struct {
 
 // pktQueue is an unbounded FIFO of packets with blocking receive. An
 // unbounded queue mirrors NA semantics (sends complete locally) and rules
-// out transport-induced deadlocks in collective algorithms.
+// out transport-induced deadlocks in collective algorithms. Because it is
+// unbounded, growth is a blind spot: a receiver that stops draining (stuck
+// progress loop, leaked endpoint) accumulates memory silently. The depth
+// gauge closes that gap — endpoints wired to a registry report their
+// instantaneous depth and high-water mark as na.queue.depth, and the
+// goroutine-leak gates assert it drains back to zero at teardown.
 type pktQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []packet
 	closed bool
+	depth  atomic.Pointer[obs.Gauge]
 }
 
 func newPktQueue() *pktQueue {
 	q := &pktQueue{}
 	q.cond = sync.NewCond(&q.mu)
 	return q
+}
+
+// setDepthGauge routes the queue's depth into g (nil detaches). The gauge
+// is seeded with the current depth so a mid-life attach stays balanced.
+func (q *pktQueue) setDepthGauge(g *obs.Gauge) {
+	q.mu.Lock()
+	q.depth.Store(g)
+	if g != nil {
+		g.Set(int64(len(q.items)))
+	}
+	q.mu.Unlock()
 }
 
 func (q *pktQueue) push(p packet) bool {
@@ -68,6 +123,9 @@ func (q *pktQueue) push(p packet) bool {
 		return false
 	}
 	q.items = append(q.items, p)
+	if g := q.depth.Load(); g != nil {
+		g.Add(1)
+	}
 	q.cond.Signal()
 	return true
 }
@@ -83,12 +141,18 @@ func (q *pktQueue) pop() (packet, error) {
 	}
 	p := q.items[0]
 	q.items = q.items[1:]
+	if g := q.depth.Load(); g != nil {
+		g.Add(-1)
+	}
 	return p, nil
 }
 
 func (q *pktQueue) close() {
 	q.mu.Lock()
 	q.closed = true
+	if g := q.depth.Load(); g != nil {
+		g.Add(-int64(len(q.items)))
+	}
 	q.items = nil
 	q.cond.Broadcast()
 	q.mu.Unlock()

@@ -1,0 +1,1255 @@
+package na
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+	"unsafe"
+
+	"colza/internal/obs"
+)
+
+// This file implements the sm:// transport: same-host endpoints exchange
+// RPC frames through mmap'd single-producer/single-consumer ring buffers
+// (tmpfs-backed files, the analog of Mercury's na+sm plugin), with a unix
+// domain socket per link used only for the segment handshake and doorbell
+// wakeups — the data path never enters the kernel. On top of the frame
+// path, the endpoint implements the LocalBulk capability: exposed bulk
+// regions are published in a per-endpoint shared arena segment, and a
+// same-host puller maps the exposer's arena and copies the bytes straight
+// out of it, skipping the chunked bulk-pull RPC protocol entirely
+// (DESIGN.md §13).
+//
+// Lifecycle invariants:
+//
+//   - ring files are unlinked by the dialer as soon as the listener has
+//     mapped them (the handshake ack), so a crash never orphans a ring;
+//   - the socket and arena files are unlinked on Close; only a process
+//     killed without Close can orphan them (documented failure mode);
+//   - a dead link behaves like a crashed host: frames are dropped
+//     silently and the next Send re-dials, exactly as the TCP transport
+//     treats a stalled or refused connection.
+
+// Ring segment layout (offsets in bytes; all fields little-endian):
+//
+//	0   magic  uint32
+//	4   version uint32
+//	8   capacity uint64 (payload area bytes, multiple of 8)
+//	16  head uint64 — free-running byte counter, producer-owned
+//	24  tail uint64 — free-running byte counter, consumer-owned
+//	32  consumerWaiting uint32
+//	40  producerWaiting uint32
+//	64  payload area
+//
+// Records are 8-byte aligned: an 8-byte header ([4]len, [4]^len) followed
+// by the payload, padded to 8. A record never crosses the end of the
+// area; the producer writes a wrap marker (len = 0xFFFFFFFF) and skips to
+// offset 0 instead.
+const (
+	smRingMagic   = 0x435a5352 // "CZSR"
+	smRingVersion = 1
+
+	ringHdrBytes   = 64
+	ringRecHdr     = 8
+	ringWrapMarker = ^uint32(0)
+
+	roMagic    = 0
+	roVersion  = 4
+	roCap      = 8
+	roHead     = 16
+	roTail     = 24
+	roConsWait = 32
+	roProdWait = 40
+
+	minRingBytes = 4 << 10
+	maxRingBytes = 1 << 30
+)
+
+// Handshake frame (sent once by the dialer over the link socket, length-
+// prefixed with a uint32):
+//
+//	"CZSM" | version uint16 | flags uint16 | ringBytes uint64 |
+//	addrLen uint32 | pathLen uint32 | addr | path
+const (
+	smHSVersion  = 1
+	smHSMaxLen   = 16 << 10
+	smHSFixedLen = 4 + 2 + 2 + 8 + 4 + 4
+	smAckByte    = 0x06
+)
+
+var smHSMagic = [4]byte{'C', 'Z', 'S', 'M'}
+
+// Arena segment layout (the LocalBulk export table + data area):
+//
+//	0   magic uint32 / 4 version uint32
+//	8   slot count uint64
+//	16  data offset uint64
+//	24  data capacity uint64
+//	64  slots: nslots × 32B {seq u64, id u64, off u64, len u64}
+//	... data area
+//
+// Publication uses a per-slot seqlock: the exposer bumps seq to odd,
+// writes id/off/len and the bytes, bumps seq to even. A puller reads seq,
+// copies, and re-reads seq — any change means the copy may have observed
+// a concurrent release/re-expose and the puller falls back to the RPC
+// pull path, which stays authoritative.
+const (
+	smArenaMagic   = 0x435a5342 // "CZSB"
+	smArenaVersion = 1
+	arenaHdrBytes  = 64
+	arenaSlotBytes = 32
+
+	aoSlots   = 8
+	aoDataOff = 16
+	aoDataCap = 24
+
+	soSeq = 0
+	soID  = 8
+	soOff = 16
+	soLen = 24
+)
+
+// SMOptions tunes an sm endpoint. Zero values select the defaults.
+type SMOptions struct {
+	// RingBytes is the payload capacity of each per-link ring. Frames are
+	// limited to half of it; a dual endpoint routes larger frames over
+	// TCP instead.
+	RingBytes int
+	// ArenaBytes is the data capacity of the bulk-export arena. The file
+	// is sparse: only touched pages consume memory.
+	ArenaBytes int
+	// ArenaSlots is the size of the export table. Must be a power of two.
+	ArenaSlots int
+	// WriteTimeout bounds how long one Send may wait for ring space
+	// before the frame is dropped and the link reset (same datagram
+	// semantics as the TCP transport's write deadline).
+	WriteTimeout time.Duration
+}
+
+const (
+	defaultSMRingBytes  = 16 << 20
+	defaultSMArenaBytes = 256 << 20
+	defaultSMArenaSlots = 4096
+)
+
+func (o *SMOptions) fill() error {
+	if o.RingBytes == 0 {
+		o.RingBytes = defaultSMRingBytes
+	}
+	if o.RingBytes < minRingBytes || o.RingBytes > maxRingBytes || o.RingBytes%8 != 0 {
+		return fmt.Errorf("na: sm ring size %d out of range", o.RingBytes)
+	}
+	if o.ArenaBytes == 0 {
+		o.ArenaBytes = defaultSMArenaBytes
+	}
+	if o.ArenaSlots == 0 {
+		o.ArenaSlots = defaultSMArenaSlots
+	}
+	if o.ArenaSlots&(o.ArenaSlots-1) != 0 || o.ArenaSlots <= 0 {
+		return fmt.Errorf("na: sm arena slots %d not a power of two", o.ArenaSlots)
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = defaultTCPWriteTimeout
+	}
+	return nil
+}
+
+// DefaultSMDir is where sm endpoints place their segments when the caller
+// passes an empty dir: a world-unreadable per-user directory under the
+// system temp dir (tmpfs on typical HPC nodes).
+func DefaultSMDir() string {
+	return filepath.Join(os.TempDir(), "colza-sm")
+}
+
+var smNameSeq atomic.Uint64
+
+// ListenSM creates a shared-memory endpoint rooted at dir/name (empty dir
+// selects DefaultSMDir, empty name generates a unique one). Its address
+// is "sm://<host>/<dir>/<name>"; only endpoints on the same host can
+// reach it.
+func ListenSM(dir, name string) (*SMEndpoint, error) {
+	return ListenSMOptions(dir, name, SMOptions{})
+}
+
+// ListenSMOptions is ListenSM with explicit tuning.
+func ListenSMOptions(dir, name string, opts SMOptions) (*SMEndpoint, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	if dir == "" {
+		dir = DefaultSMDir()
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("na: sm dir: %w", err)
+	}
+	gcStaleSegments(dir)
+	if name == "" {
+		name = fmt.Sprintf("ep-%d-%d", os.Getpid(), smNameSeq.Add(1))
+	}
+	base, err := filepath.Abs(filepath.Join(dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("na: sm base: %w", err)
+	}
+	sock := base + ".sock"
+	// The kernel caps unix socket paths (108 bytes on Linux); failing
+	// early beats an EINVAL with no context at dial time.
+	if len(sock) > 100 {
+		return nil, fmt.Errorf("na: sm socket path too long (%d bytes): %s", len(sock), sock)
+	}
+	ul, err := net.Listen("unix", sock)
+	if err != nil {
+		return nil, fmt.Errorf("na: sm listen: %w", err)
+	}
+	e := &SMEndpoint{
+		host:    smHostID(),
+		base:    base,
+		dir:     dir,
+		opts:    opts,
+		ul:      ul,
+		q:       newPktQueue(),
+		peers:   make(map[string]*smPeer),
+		inbound: make(map[net.Conn]struct{}),
+		arenas:  make(map[string]*smArenaMap),
+	}
+	e.addr = schemeSM + e.host + base
+	e.advertise.Store(&e.addr)
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// gcStaleSegments removes auto-named segment files (ep-<pid>-*) whose
+// owning process is gone: a SIGKILL'd server cannot unlink its own socket
+// or arena, so a shared segment directory self-heals on the next listen.
+// Best-effort — custom-named segments and foreign files are left alone.
+func gcStaleSegments(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range entries {
+		var pid, seq int
+		if n, _ := fmt.Sscanf(ent.Name(), "ep-%d-%d", &pid, &seq); n != 2 || pid <= 0 || pid == os.Getpid() {
+			continue
+		}
+		// Signal 0 probes liveness; ESRCH means the pid is free. EPERM
+		// means it exists under another uid — leave its files alone.
+		if err := syscall.Kill(pid, 0); err == syscall.ESRCH {
+			os.Remove(filepath.Join(dir, ent.Name()))
+		}
+	}
+}
+
+// SMEndpoint is the sm:// transport endpoint. It implements Endpoint,
+// Observable, and LocalBulk.
+type SMEndpoint struct {
+	addr string
+	host string
+	base string
+	dir  string
+	opts SMOptions
+	ul   net.Listener
+	q    *pktQueue
+
+	// advertise is the address stamped on outgoing frames (the handshake
+	// "from"); a dual endpoint overrides it with its composite address so
+	// replies route per-link again.
+	advertise atomic.Pointer[string]
+
+	plan atomic.Pointer[FaultPlan]
+	met  atomic.Pointer[smMetrics]
+
+	txSeq atomic.Uint64
+
+	mu      sync.Mutex
+	peers   map[string]*smPeer
+	inbound map[net.Conn]struct{}
+	closed  bool
+
+	arenaOnce   sync.Once
+	arena       *smArena
+	arenaBroken atomic.Bool
+
+	amu    sync.Mutex
+	arenas map[string]*smArenaMap // mapped peer arenas, by base path
+
+	wg sync.WaitGroup
+}
+
+// smMetrics caches the endpoint's instrument handles; registry lookups
+// allocate, and Send/recv are the transport hot path.
+type smMetrics struct {
+	framesTx, framesRx *obs.Counter
+	bytesTx, bytesRx   *obs.Counter
+	stalls             *obs.Counter
+	drops              *obs.Counter
+	pullLocal          *obs.Counter
+	pullFallback       *obs.Counter
+	exposeFallback     *obs.Counter
+	mappedBytes        *obs.Gauge
+	queueDepth         *obs.Gauge
+}
+
+func newSMMetrics(r *obs.Registry) *smMetrics {
+	return &smMetrics{
+		framesTx:       r.Counter("na.shm.frames.tx"),
+		framesRx:       r.Counter("na.shm.frames.rx"),
+		bytesTx:        r.Counter("na.shm.bytes.tx"),
+		bytesRx:        r.Counter("na.shm.bytes.rx"),
+		stalls:         r.Counter("na.shm.ring.stalls"),
+		drops:          r.Counter("na.shm.frames.dropped"),
+		pullLocal:      r.Counter("na.shm.pull.local"),
+		pullFallback:   r.Counter("na.shm.pull.fallback"),
+		exposeFallback: r.Counter("na.shm.expose.fallback"),
+		mappedBytes:    r.Gauge("na.shm.mapped.bytes"),
+		queueDepth:     r.Gauge("na.queue.depth", "transport", "sm"),
+	}
+}
+
+func (e *SMEndpoint) metrics() *smMetrics {
+	if m := e.met.Load(); m != nil {
+		return m
+	}
+	m := newSMMetrics(obs.Default())
+	e.met.CompareAndSwap(nil, m)
+	return e.met.Load()
+}
+
+// SetObserver routes the endpoint's transport metrics into r.
+func (e *SMEndpoint) SetObserver(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	m := newSMMetrics(r)
+	e.met.Store(m)
+	e.q.setDepthGauge(m.queueDepth)
+}
+
+// SetFaultPlan installs (or, with nil, removes) a scriptable fault plan
+// consulted on every outgoing frame — chaos suites drop and delay sm
+// frames exactly as they do on the in-process fabric.
+func (e *SMEndpoint) SetFaultPlan(p *FaultPlan) { e.plan.Store(p) }
+
+// setAdvertise overrides the address stamped on outgoing links (used by
+// the dual endpoint). Must be called before any traffic.
+func (e *SMEndpoint) setAdvertise(addr string) { e.advertise.Store(&addr) }
+
+// setQueue shares an external receive queue (dual endpoint plumbing).
+// Must be called before any traffic.
+func (e *SMEndpoint) setQueue(q *pktQueue) { e.q = q }
+
+// Addr returns the endpoint address.
+func (e *SMEndpoint) Addr() string { return e.addr }
+
+// MaxFrame is the largest frame this endpoint can move through a ring; a
+// dual endpoint routes anything larger over TCP.
+func (e *SMEndpoint) MaxFrame() int { return e.opts.RingBytes / 2 }
+
+// Send delivers one frame to an sm-reachable address. Per datagram
+// semantics, frames to dead or stalled peers are dropped silently; only
+// addresses this transport can never reach return ErrNoRoute.
+func (e *SMEndpoint) Send(to string, data []byte) error {
+	if len(data) > e.MaxFrame() {
+		return ErrTooLarge
+	}
+	if plan := e.plan.Load(); plan != nil {
+		v := plan.Decide(*e.advertise.Load(), to, data)
+		if v.Drop {
+			return nil
+		}
+		if v.Delay > 0 {
+			cp := append([]byte(nil), data...)
+			time.AfterFunc(v.Delay, func() { e.deliver(to, cp) })
+			return nil
+		}
+	}
+	return e.deliver(to, data)
+}
+
+func (e *SMEndpoint) deliver(to string, data []byte) error {
+	smAddr, _ := SplitAddr(to)
+	if smAddr == "" {
+		return fmt.Errorf("%w: %s (not an sm address)", ErrNoRoute, to)
+	}
+	host, _, ok := smHostBase(smAddr)
+	if !ok {
+		return fmt.Errorf("%w: %s (malformed sm address)", ErrNoRoute, to)
+	}
+	if host != e.host {
+		return fmt.Errorf("%w: %s (host %s is not local)", ErrNoRoute, to, host)
+	}
+	p, err := e.getPeer(smAddr)
+	if err != nil {
+		if errors.Is(err, ErrClosed) {
+			return err
+		}
+		// Unreachable peer = lost datagram (crashed host semantics).
+		return nil
+	}
+	m := e.metrics()
+	if err := p.send(data, e.opts.WriteTimeout, m); err != nil {
+		m.drops.Inc()
+		e.dropPeer(smAddr, p)
+		return nil
+	}
+	m.framesTx.Inc()
+	m.bytesTx.Add(int64(len(data)))
+	return nil
+}
+
+// Probe establishes (or reuses) the link to an sm address, reporting
+// whether the peer is reachable over shared memory. The dual endpoint
+// uses it for its per-link route decision.
+func (e *SMEndpoint) Probe(smAddr string) error {
+	host, _, ok := smHostBase(smAddr)
+	if !ok {
+		return fmt.Errorf("%w: %s (malformed sm address)", ErrNoRoute, smAddr)
+	}
+	if host != e.host {
+		return fmt.Errorf("%w: %s (host %s is not local)", ErrNoRoute, smAddr, host)
+	}
+	_, err := e.getPeer(smAddr)
+	return err
+}
+
+func (e *SMEndpoint) getPeer(smAddr string) (*smPeer, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if p, ok := e.peers[smAddr]; ok {
+		e.mu.Unlock()
+		return p, nil
+	}
+	e.mu.Unlock()
+
+	p, err := e.dialPeer(smAddr)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		p.teardown()
+		return nil, ErrClosed
+	}
+	if old, ok := e.peers[smAddr]; ok {
+		e.mu.Unlock()
+		p.teardown()
+		return old, nil
+	}
+	e.peers[smAddr] = p
+	e.mu.Unlock()
+	e.wg.Add(1)
+	go e.peerReader(smAddr, p)
+	return p, nil
+}
+
+func (e *SMEndpoint) dialPeer(smAddr string) (*smPeer, error) {
+	_, base, _ := smHostBase(smAddr)
+	conn, err := net.DialTimeout("unix", base+".sock", 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	path := fmt.Sprintf("%s.tx%d.ring", e.base, e.txSeq.Add(1))
+	size := ringHdrBytes + e.opts.RingBytes
+	seg, err := smCreateMap(path, size)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	ring := ringInit(seg, uint64(e.opts.RingBytes))
+	hs := encodeSMHandshake(smHandshake{
+		ringBytes: uint64(e.opts.RingBytes),
+		addr:      *e.advertise.Load(),
+		path:      path,
+	})
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(hs)))
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Write(hdr[:]); err == nil {
+		_, err = conn.Write(hs)
+	}
+	if err == nil {
+		var ack [1]byte
+		_, err = io.ReadFull(conn, ack[:])
+		if err == nil && ack[0] != smAckByte {
+			err = fmt.Errorf("na: sm handshake: bad ack 0x%02x", ack[0])
+		}
+	}
+	// Whatever happened, the ring file's name is no longer needed: on
+	// success both sides hold mappings; on failure nobody does. Either
+	// way no orphan outlives this call.
+	os.Remove(path)
+	if err != nil {
+		conn.Close()
+		syscall.Munmap(seg)
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+	return &smPeer{conn: conn, seg: seg, ring: ring, space: make(chan struct{}, 1)}, nil
+}
+
+// peerReader drains the link socket on the dialer side: every byte is a
+// space doorbell from the consumer; EOF or error means the peer is gone.
+func (e *SMEndpoint) peerReader(smAddr string, p *smPeer) {
+	defer e.wg.Done()
+	buf := make([]byte, 64)
+	for {
+		if _, err := p.conn.Read(buf); err != nil {
+			e.dropPeer(smAddr, p)
+			return
+		}
+		select {
+		case p.space <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (e *SMEndpoint) dropPeer(smAddr string, p *smPeer) {
+	e.mu.Lock()
+	if e.peers[smAddr] == p {
+		delete(e.peers, smAddr)
+	}
+	e.mu.Unlock()
+	p.teardown()
+}
+
+// smPeer is one outbound link: the dialer-owned ring plus its doorbell
+// socket. mu serializes producers; teardown is idempotent.
+type smPeer struct {
+	mu    sync.Mutex
+	conn  net.Conn
+	seg   []byte
+	ring  *smRing
+	space chan struct{}
+	dead  atomic.Bool
+}
+
+func (p *smPeer) teardown() {
+	if p.dead.Swap(true) {
+		return
+	}
+	p.conn.Close()
+	select {
+	case p.space <- struct{}{}:
+	default:
+	}
+	// Producers hold mu across ring writes; taking it here means nobody
+	// is touching the mapping when it goes away.
+	p.mu.Lock()
+	seg := p.seg
+	p.seg = nil
+	p.ring = nil
+	p.mu.Unlock()
+	if seg != nil {
+		syscall.Munmap(seg)
+	}
+}
+
+var errSMLinkDead = errors.New("na: sm link dead")
+
+func (p *smPeer) send(data []byte, timeout time.Duration, m *smMetrics) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead.Load() || p.ring == nil {
+		return errSMLinkDead
+	}
+	if p.ring.tryWrite(data) {
+		return p.doorbell()
+	}
+	// Ring full: the §8 backpressure protocol. Announce we are waiting,
+	// re-check (the consumer may have drained between the two), then
+	// block on the space doorbell up to the write timeout — on expiry the
+	// frame is dropped and the link reset, exactly like a TCP write
+	// deadline firing against a stalled peer.
+	m.stalls.Inc()
+	deadline := time.Now().Add(timeout)
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		atomic.StoreUint32(p.ring.u32(roProdWait), 1)
+		if p.ring.tryWrite(data) {
+			atomic.StoreUint32(p.ring.u32(roProdWait), 0)
+			return p.doorbell()
+		}
+		select {
+		case <-p.space:
+		case <-timer.C:
+			return errSMLinkDead
+		}
+		if p.dead.Load() || p.ring == nil {
+			return errSMLinkDead
+		}
+		if !time.Now().Before(deadline) {
+			return errSMLinkDead
+		}
+	}
+}
+
+// doorbell wakes the consumer if (and only if) it announced it was
+// parked; a busy consumer drains the ring with no syscalls at all.
+func (p *smPeer) doorbell() error {
+	if atomic.SwapUint32(p.ring.u32(roConsWait), 0) != 1 {
+		return nil
+	}
+	p.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	_, err := p.conn.Write([]byte{1})
+	return err
+}
+
+func (e *SMEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		c, err := e.ul.Accept()
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			c.Close()
+			return
+		}
+		e.inbound[c] = struct{}{}
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.serveConn(c)
+	}
+}
+
+func (e *SMEndpoint) serveConn(c net.Conn) {
+	defer e.wg.Done()
+	var seg []byte
+	defer func() {
+		c.Close()
+		if seg != nil {
+			syscall.Munmap(seg)
+		}
+		e.mu.Lock()
+		delete(e.inbound, c)
+		e.mu.Unlock()
+	}()
+
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	var hdr [4]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return
+	}
+	hl := binary.LittleEndian.Uint32(hdr[:])
+	if hl > smHSMaxLen {
+		return
+	}
+	buf := make([]byte, hl)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		return
+	}
+	hs, err := decodeSMHandshake(buf)
+	if err != nil {
+		return
+	}
+	seg, err = smOpenMap(hs.path, ringHdrBytes+int(hs.ringBytes), true)
+	if err != nil {
+		return
+	}
+	ring, err := ringAttach(seg)
+	if err != nil {
+		return
+	}
+	if _, err := c.Write([]byte{smAckByte}); err != nil {
+		return
+	}
+	c.SetDeadline(time.Time{})
+
+	m := e.metrics()
+	db := make([]byte, 64)
+	for {
+		for {
+			data, ok, err := ring.read()
+			if err != nil {
+				return // corrupt ring: reset the link
+			}
+			if !ok {
+				break
+			}
+			m.framesRx.Inc()
+			m.bytesRx.Add(int64(len(data)))
+			if !e.q.push(packet{from: hs.addr, data: data}) {
+				return
+			}
+			if atomic.SwapUint32(ring.u32(roProdWait), 0) == 1 {
+				c.SetWriteDeadline(time.Now().Add(5 * time.Second))
+				if _, err := c.Write([]byte{1}); err != nil {
+					return
+				}
+			}
+		}
+		// Park until the producer rings: announce, re-check, block.
+		atomic.StoreUint32(ring.u32(roConsWait), 1)
+		if ring.hasData() {
+			atomic.StoreUint32(ring.u32(roConsWait), 0)
+			continue
+		}
+		if _, err := c.Read(db); err != nil {
+			return
+		}
+		atomic.StoreUint32(ring.u32(roConsWait), 0)
+	}
+}
+
+// Recv blocks for the next frame.
+func (e *SMEndpoint) Recv() (string, []byte, error) {
+	p, err := e.q.pop()
+	if err != nil {
+		return "", nil, err
+	}
+	return p.from, p.data, nil
+}
+
+// Close shuts the endpoint down: links are reset, goroutines joined, all
+// mappings released, and the socket and arena files unlinked — after a
+// clean Close no segment files remain on disk.
+func (e *SMEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	peers := e.peers
+	e.peers = map[string]*smPeer{}
+	inbound := make([]net.Conn, 0, len(e.inbound))
+	for c := range e.inbound {
+		inbound = append(inbound, c)
+	}
+	e.mu.Unlock()
+
+	e.ul.Close() // unlinks the socket file
+	for _, p := range peers {
+		p.teardown()
+	}
+	for _, c := range inbound {
+		c.Close()
+	}
+	e.wg.Wait()
+	e.q.close()
+
+	if e.arena != nil {
+		e.arena.close()
+		os.Remove(e.base + ".blk")
+	}
+	e.amu.Lock()
+	for _, am := range e.arenas {
+		am.close()
+	}
+	e.arenas = map[string]*smArenaMap{}
+	e.amu.Unlock()
+	return nil
+}
+
+// --- ring buffer ----------------------------------------------------------
+
+type smRing struct {
+	seg []byte
+	cap uint64
+}
+
+func (r *smRing) u64(off int) *uint64 { return (*uint64)(unsafe.Pointer(&r.seg[off])) }
+func (r *smRing) u32(off int) *uint32 { return (*uint32)(unsafe.Pointer(&r.seg[off])) }
+
+func ringInit(seg []byte, capacity uint64) *smRing {
+	binary.LittleEndian.PutUint32(seg[roMagic:], smRingMagic)
+	binary.LittleEndian.PutUint32(seg[roVersion:], smRingVersion)
+	binary.LittleEndian.PutUint64(seg[roCap:], capacity)
+	return &smRing{seg: seg, cap: capacity}
+}
+
+var errSMCorrupt = errors.New("na: sm ring corrupt")
+
+func ringAttach(seg []byte) (*smRing, error) {
+	if len(seg) < ringHdrBytes {
+		return nil, errSMCorrupt
+	}
+	if binary.LittleEndian.Uint32(seg[roMagic:]) != smRingMagic ||
+		binary.LittleEndian.Uint32(seg[roVersion:]) != smRingVersion {
+		return nil, errSMCorrupt
+	}
+	capacity := binary.LittleEndian.Uint64(seg[roCap:])
+	if capacity < minRingBytes || capacity > maxRingBytes || capacity%8 != 0 ||
+		uint64(len(seg)) < ringHdrBytes+capacity {
+		return nil, errSMCorrupt
+	}
+	return &smRing{seg: seg, cap: capacity}, nil
+}
+
+// recordBytes is a record's total footprint: header + payload, padded to
+// the 8-byte alignment every record keeps.
+func recordBytes(n int) uint64 { return uint64(ringRecHdr+n+7) &^ 7 }
+
+// tryWrite publishes one frame if the ring has room. Callers serialize
+// (single producer per ring); the head store is the publication point.
+func (r *smRing) tryWrite(data []byte) bool {
+	need := recordBytes(len(data))
+	head := atomic.LoadUint64(r.u64(roHead))
+	tail := atomic.LoadUint64(r.u64(roTail))
+	free := r.cap - (head - tail)
+	pos := head % r.cap
+	total := need
+	if pos+need > r.cap {
+		total = (r.cap - pos) + need
+	}
+	if total > free {
+		return false
+	}
+	area := r.seg[ringHdrBytes:]
+	if pos+need > r.cap {
+		binary.LittleEndian.PutUint32(area[pos:], ringWrapMarker)
+		binary.LittleEndian.PutUint32(area[pos+4:], ^ringWrapMarker)
+		head += r.cap - pos
+		pos = 0
+	}
+	binary.LittleEndian.PutUint32(area[pos:], uint32(len(data)))
+	binary.LittleEndian.PutUint32(area[pos+4:], ^uint32(len(data)))
+	copy(area[pos+ringRecHdr:], data)
+	atomic.StoreUint64(r.u64(roHead), head+need)
+	return true
+}
+
+func (r *smRing) hasData() bool {
+	return atomic.LoadUint64(r.u64(roHead)) != atomic.LoadUint64(r.u64(roTail))
+}
+
+// read consumes the next frame, if any. Only the consumer calls it.
+func (r *smRing) read() ([]byte, bool, error) {
+	for {
+		head := atomic.LoadUint64(r.u64(roHead))
+		tail := atomic.LoadUint64(r.u64(roTail))
+		if head == tail {
+			return nil, false, nil
+		}
+		ln, skip, wrap, err := decodeRingRecord(r.seg[ringHdrBytes:], tail%r.cap, head-tail, r.cap)
+		if err != nil {
+			return nil, false, err
+		}
+		if wrap {
+			atomic.StoreUint64(r.u64(roTail), tail+skip)
+			continue
+		}
+		data := make([]byte, ln)
+		copy(data, r.seg[ringHdrBytes+tail%r.cap+ringRecHdr:])
+		atomic.StoreUint64(r.u64(roTail), tail+skip)
+		return data, true, nil
+	}
+}
+
+// decodeRingRecord validates the record header at pos within a payload
+// area of the given capacity with avail unconsumed bytes. It is a pure
+// function over the mapped bytes — the fuzz entry point for the frame
+// path — and must reject every inconsistent combination (truncation,
+// lying lengths, misalignment) rather than let the consumer copy out of
+// bounds or spin.
+func decodeRingRecord(area []byte, pos, avail, capacity uint64) (ln uint32, skip uint64, wrap bool, err error) {
+	if capacity == 0 || capacity%8 != 0 || uint64(len(area)) < capacity {
+		return 0, 0, false, errSMCorrupt
+	}
+	if pos >= capacity || pos%8 != 0 || avail == 0 || avail > capacity {
+		return 0, 0, false, errSMCorrupt
+	}
+	// The producer keeps records 8-aligned, so at least a header fits
+	// between pos and the end of the area.
+	l := binary.LittleEndian.Uint32(area[pos:])
+	if binary.LittleEndian.Uint32(area[pos+4:]) != ^l {
+		return 0, 0, false, errSMCorrupt
+	}
+	if l == ringWrapMarker {
+		skip = capacity - pos
+		if skip > avail {
+			return 0, 0, false, errSMCorrupt
+		}
+		return 0, skip, true, nil
+	}
+	if uint64(l) > capacity/2 {
+		return 0, 0, false, errSMCorrupt
+	}
+	need := recordBytes(int(l))
+	if pos+need > capacity || need > avail {
+		return 0, 0, false, errSMCorrupt
+	}
+	return l, need, false, nil
+}
+
+// --- handshake ------------------------------------------------------------
+
+type smHandshake struct {
+	ringBytes uint64
+	addr      string
+	path      string
+}
+
+func encodeSMHandshake(h smHandshake) []byte {
+	out := make([]byte, smHSFixedLen+len(h.addr)+len(h.path))
+	copy(out, smHSMagic[:])
+	binary.LittleEndian.PutUint16(out[4:], smHSVersion)
+	binary.LittleEndian.PutUint64(out[8:], h.ringBytes)
+	binary.LittleEndian.PutUint32(out[16:], uint32(len(h.addr)))
+	binary.LittleEndian.PutUint32(out[20:], uint32(len(h.path)))
+	copy(out[smHSFixedLen:], h.addr)
+	copy(out[smHSFixedLen+len(h.addr):], h.path)
+	return out
+}
+
+var errSMHandshake = errors.New("na: sm handshake invalid")
+
+// decodeSMHandshake parses and validates a handshake payload. It is the
+// second fuzz entry point: handshakes arrive from an untrusted unix
+// socket, so truncation, lying lengths, and hostile sizes must all error
+// without panics or allocations proportional to claimed lengths.
+func decodeSMHandshake(b []byte) (smHandshake, error) {
+	var h smHandshake
+	if len(b) < smHSFixedLen {
+		return h, errSMHandshake
+	}
+	if [4]byte(b[:4]) != smHSMagic {
+		return h, errSMHandshake
+	}
+	if binary.LittleEndian.Uint16(b[4:]) != smHSVersion {
+		return h, errSMHandshake
+	}
+	h.ringBytes = binary.LittleEndian.Uint64(b[8:])
+	if h.ringBytes < minRingBytes || h.ringBytes > maxRingBytes || h.ringBytes%8 != 0 {
+		return h, errSMHandshake
+	}
+	al := int64(binary.LittleEndian.Uint32(b[16:]))
+	pl := int64(binary.LittleEndian.Uint32(b[20:]))
+	if al <= 0 || al > 4096 || pl <= 0 || pl > 4096 {
+		return h, errSMHandshake
+	}
+	if int64(len(b)) != int64(smHSFixedLen)+al+pl {
+		return h, errSMHandshake
+	}
+	h.addr = string(b[smHSFixedLen : smHSFixedLen+al])
+	h.path = string(b[smHSFixedLen+al:])
+	if h.path[0] != '/' {
+		return h, errSMHandshake
+	}
+	return h, nil
+}
+
+// --- mmap helpers ---------------------------------------------------------
+
+func smCreateMap(path string, size int) ([]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := f.Truncate(int64(size)); err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	seg, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	return seg, nil
+}
+
+func smOpenMap(path string, size int, rw bool) ([]byte, error) {
+	flags := os.O_RDONLY
+	prot := syscall.PROT_READ
+	if rw {
+		flags = os.O_RDWR
+		prot |= syscall.PROT_WRITE
+	}
+	f, err := os.OpenFile(path, flags, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < int64(size) {
+		return nil, fmt.Errorf("na: sm segment %s truncated (%d < %d)", path, st.Size(), size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, size, prot, syscall.MAP_SHARED)
+}
+
+// --- bulk arena (LocalBulk exposer side) ----------------------------------
+
+type smArena struct {
+	mu      sync.Mutex
+	seg     []byte
+	nslots  uint64
+	dataOff uint64
+	dataCap uint64
+	entries map[uint64]arenaSpan // id → allocated span
+	bySlot  map[uint64]uint64    // slot → id currently published there
+	free    []arenaSpan          // sorted by offset, coalesced
+}
+
+type arenaSpan struct{ off, ln uint64 }
+
+func (e *SMEndpoint) ensureArena() *smArena {
+	e.arenaOnce.Do(func() {
+		nslots := uint64(e.opts.ArenaSlots)
+		dataOff := uint64(arenaHdrBytes) + nslots*arenaSlotBytes
+		size := dataOff + uint64(e.opts.ArenaBytes)
+		seg, err := smCreateMap(e.base+".blk", int(size))
+		if err != nil {
+			e.arenaBroken.Store(true)
+			return
+		}
+		binary.LittleEndian.PutUint32(seg[0:], smArenaMagic)
+		binary.LittleEndian.PutUint32(seg[4:], smArenaVersion)
+		binary.LittleEndian.PutUint64(seg[aoSlots:], nslots)
+		binary.LittleEndian.PutUint64(seg[aoDataOff:], dataOff)
+		binary.LittleEndian.PutUint64(seg[aoDataCap:], uint64(e.opts.ArenaBytes))
+		e.arena = &smArena{
+			seg:     seg,
+			nslots:  nslots,
+			dataOff: dataOff,
+			dataCap: uint64(e.opts.ArenaBytes),
+			entries: make(map[uint64]arenaSpan),
+			bySlot:  make(map[uint64]uint64),
+			free:    []arenaSpan{{0, uint64(e.opts.ArenaBytes)}},
+		}
+	})
+	return e.arena
+}
+
+func (a *smArena) close() {
+	a.mu.Lock()
+	seg := a.seg
+	a.seg = nil
+	a.mu.Unlock()
+	if seg != nil {
+		syscall.Munmap(seg)
+	}
+}
+
+func (a *smArena) slotPtr(slot uint64, field int) *uint64 {
+	return (*uint64)(unsafe.Pointer(&a.seg[arenaHdrBytes+slot*arenaSlotBytes+uint64(field)]))
+}
+
+// alloc reserves ln bytes in the data area (first fit).
+func (a *smArena) alloc(ln uint64) (uint64, bool) {
+	for i, s := range a.free {
+		if s.ln >= ln {
+			off := s.off
+			if s.ln == ln {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			} else {
+				a.free[i] = arenaSpan{s.off + ln, s.ln - ln}
+			}
+			return off, true
+		}
+	}
+	return 0, false
+}
+
+// release returns a span, merging with free neighbors.
+func (a *smArena) release(sp arenaSpan) {
+	i := 0
+	for i < len(a.free) && a.free[i].off < sp.off {
+		i++
+	}
+	a.free = append(a.free, arenaSpan{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = sp
+	// Merge right then left.
+	if i+1 < len(a.free) && a.free[i].off+a.free[i].ln == a.free[i+1].off {
+		a.free[i].ln += a.free[i+1].ln
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].off+a.free[i-1].ln == a.free[i].off {
+		a.free[i-1].ln += a.free[i].ln
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// ExposeLocal publishes buf in the shared arena under the bulk id
+// (LocalBulk). The arena holds its own copy, so the caller's §7 contract
+// (buffer unchanged until Release) extends naturally: even a pull racing
+// a release reads stable arena bytes or misses the slot and falls back.
+func (e *SMEndpoint) ExposeLocal(id uint64, buf []byte) bool {
+	if len(buf) == 0 || e.arenaBroken.Load() {
+		return false
+	}
+	a := e.ensureArena()
+	if a == nil {
+		return false
+	}
+	m := e.metrics()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.seg == nil {
+		return false
+	}
+	slot := id % a.nslots
+	if _, busy := a.bySlot[slot]; busy {
+		m.exposeFallback.Inc()
+		return false
+	}
+	off, ok := a.alloc(uint64(len(buf)))
+	if !ok {
+		m.exposeFallback.Inc()
+		return false
+	}
+	seq := atomic.LoadUint64(a.slotPtr(slot, soSeq))
+	atomic.StoreUint64(a.slotPtr(slot, soSeq), seq+1) // odd: in flux
+	copy(a.seg[a.dataOff+off:], buf)
+	atomic.StoreUint64(a.slotPtr(slot, soID), id)
+	atomic.StoreUint64(a.slotPtr(slot, soOff), off)
+	atomic.StoreUint64(a.slotPtr(slot, soLen), uint64(len(buf)))
+	atomic.StoreUint64(a.slotPtr(slot, soSeq), seq+2) // even: published
+	a.entries[id] = arenaSpan{off, uint64(len(buf))}
+	a.bySlot[slot] = id
+	m.mappedBytes.Add(int64(len(buf)))
+	return true
+}
+
+// ReleaseLocal withdraws a published region (LocalBulk).
+func (e *SMEndpoint) ReleaseLocal(id uint64) {
+	a := e.arena
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	sp, ok := a.entries[id]
+	if !ok || a.seg == nil {
+		return
+	}
+	slot := id % a.nslots
+	seq := atomic.LoadUint64(a.slotPtr(slot, soSeq))
+	atomic.StoreUint64(a.slotPtr(slot, soSeq), seq+1)
+	atomic.StoreUint64(a.slotPtr(slot, soID), 0)
+	atomic.StoreUint64(a.slotPtr(slot, soLen), 0)
+	atomic.StoreUint64(a.slotPtr(slot, soSeq), seq+2)
+	delete(a.entries, id)
+	delete(a.bySlot, slot)
+	a.release(sp)
+	e.metrics().mappedBytes.Add(-int64(sp.ln))
+}
+
+// smArenaMap is a read-only mapping of a peer's arena.
+type smArenaMap struct {
+	seg     []byte
+	nslots  uint64
+	dataOff uint64
+	dataCap uint64
+}
+
+func (m *smArenaMap) close() {
+	if m.seg != nil {
+		syscall.Munmap(m.seg)
+		m.seg = nil
+	}
+}
+
+func (m *smArenaMap) slotPtr(slot uint64, field int) *uint64 {
+	return (*uint64)(unsafe.Pointer(&m.seg[arenaHdrBytes+slot*arenaSlotBytes+uint64(field)]))
+}
+
+func (e *SMEndpoint) peerArena(base string) (*smArenaMap, error) {
+	e.amu.Lock()
+	if am, ok := e.arenas[base]; ok {
+		e.amu.Unlock()
+		return am, nil
+	}
+	e.amu.Unlock()
+
+	// Header first: slot count and data bounds size the full mapping.
+	seg, err := smOpenMap(base+".blk", arenaHdrBytes, false)
+	if err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(seg[0:]) != smArenaMagic ||
+		binary.LittleEndian.Uint32(seg[4:]) != smArenaVersion {
+		syscall.Munmap(seg)
+		return nil, errSMCorrupt
+	}
+	nslots := binary.LittleEndian.Uint64(seg[aoSlots:])
+	dataOff := binary.LittleEndian.Uint64(seg[aoDataOff:])
+	dataCap := binary.LittleEndian.Uint64(seg[aoDataCap:])
+	syscall.Munmap(seg)
+	if nslots == 0 || nslots > 1<<20 || dataOff != uint64(arenaHdrBytes)+nslots*arenaSlotBytes || dataCap > 1<<40 {
+		return nil, errSMCorrupt
+	}
+	full, err := smOpenMap(base+".blk", int(dataOff+dataCap), false)
+	if err != nil {
+		return nil, err
+	}
+	am := &smArenaMap{seg: full, nslots: nslots, dataOff: dataOff, dataCap: dataCap}
+	e.amu.Lock()
+	if old, ok := e.arenas[base]; ok {
+		e.amu.Unlock()
+		am.close()
+		return old, nil
+	}
+	e.arenas[base] = am
+	e.amu.Unlock()
+	return am, nil
+}
+
+// pullLocalAttempts bounds the seqlock retry loop: a slot that keeps
+// changing under the copy is under active churn, and the RPC path is the
+// authoritative tiebreaker anyway.
+const pullLocalAttempts = 3
+
+// PullLocal maps the exposer's arena and copies the requested range of
+// region id straight out of shared memory (LocalBulk). done=false sends
+// the caller to the RPC pull path.
+func (e *SMEndpoint) PullLocal(ownerAddr string, id uint64, off int, dst []byte) (bool, error) {
+	smAddr, _ := SplitAddr(ownerAddr)
+	if smAddr == "" || off < 0 {
+		return false, nil
+	}
+	host, base, ok := smHostBase(smAddr)
+	if !ok || host != e.host || base == e.base {
+		return false, nil
+	}
+	m := e.metrics()
+	am, err := e.peerArena(base)
+	if err != nil {
+		m.pullFallback.Inc()
+		return false, nil
+	}
+	slot := id % am.nslots
+	for attempt := 0; attempt < pullLocalAttempts; attempt++ {
+		s1 := atomic.LoadUint64(am.slotPtr(slot, soSeq))
+		if s1&1 != 0 {
+			continue
+		}
+		if atomic.LoadUint64(am.slotPtr(slot, soID)) != id {
+			m.pullFallback.Inc()
+			return false, nil
+		}
+		ln := atomic.LoadUint64(am.slotPtr(slot, soLen))
+		ofs := atomic.LoadUint64(am.slotPtr(slot, soOff))
+		if uint64(off)+uint64(len(dst)) > ln || ofs+ln > am.dataCap {
+			m.pullFallback.Inc()
+			return false, nil
+		}
+		copy(dst, am.seg[am.dataOff+ofs+uint64(off):am.dataOff+ofs+uint64(off)+uint64(len(dst))])
+		if atomic.LoadUint64(am.slotPtr(slot, soSeq)) == s1 {
+			m.pullLocal.Inc()
+			return true, nil
+		}
+	}
+	m.pullFallback.Inc()
+	return false, nil
+}

@@ -1,0 +1,65 @@
+package na
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzShmFrameDecode hammers the two untrusted decode surfaces of the
+// shared-memory transport: the per-link handshake (read off a unix
+// socket) and the ring record header (read out of a peer-writable mmap'd
+// segment). Both must reject truncation, corruption, and lying lengths
+// without panics, unbounded allocations, or out-of-bounds decisions.
+func FuzzShmFrameDecode(f *testing.F) {
+	// Seed with a valid handshake and a few mutations of it.
+	valid := encodeSMHandshake(smHandshake{
+		ringBytes: 1 << 20,
+		addr:      "sm://host/tmp/colza-sm/ep",
+		path:      "/tmp/colza-sm/ep.tx1.ring",
+	})
+	f.Add(valid, uint64(0), uint64(64))
+	trunc := append([]byte(nil), valid[:len(valid)-3]...)
+	f.Add(trunc, uint64(8), uint64(8))
+	lying := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(lying[16:], 1<<31) // absurd addrLen
+	f.Add(lying, uint64(4096), uint64(4096))
+	f.Add([]byte{}, uint64(0), uint64(0))
+
+	f.Fuzz(func(t *testing.T, raw []byte, pos, avail uint64) {
+		if h, err := decodeSMHandshake(raw); err == nil {
+			// Accepted handshakes must honor their own declared bounds.
+			if len(h.addr) == 0 || len(h.addr) > 4096 || len(h.path) == 0 || len(h.path) > 4096 {
+				t.Fatalf("handshake accepted with out-of-bounds fields: %+v", h)
+			}
+			if h.path[0] != '/' {
+				t.Fatalf("handshake accepted with relative path: %q", h.path)
+			}
+			if h.ringBytes < minRingBytes || h.ringBytes > maxRingBytes {
+				t.Fatalf("handshake accepted with bad ring size: %d", h.ringBytes)
+			}
+		}
+
+		// Interpret the same raw bytes as a ring payload area; the record
+		// decoder must stay inside it for every (pos, avail).
+		capacity := uint64(len(raw)) &^ 7
+		ln, skip, wrap, err := decodeRingRecord(raw, pos, avail, capacity)
+		if err != nil {
+			return
+		}
+		if wrap {
+			if skip == 0 || skip > avail || pos+skip != capacity {
+				t.Fatalf("wrap verdict out of bounds: pos=%d skip=%d avail=%d cap=%d", pos, skip, avail, capacity)
+			}
+			return
+		}
+		if skip > avail || pos+skip > capacity {
+			t.Fatalf("record skip out of bounds: pos=%d skip=%d avail=%d cap=%d", pos, skip, avail, capacity)
+		}
+		if uint64(ln)+ringRecHdr > skip {
+			t.Fatalf("payload length %d exceeds record footprint %d", ln, skip)
+		}
+		// A consumer would copy payload from [pos+8, pos+8+ln): in bounds
+		// by the checks above; touch it to prove it.
+		_ = raw[pos+ringRecHdr : pos+ringRecHdr+uint64(ln)]
+	})
+}

@@ -1,0 +1,463 @@
+package na
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"colza/internal/obs"
+)
+
+// smPair builds two sm endpoints in one temp dir and tears them down with
+// the test.
+func smPair(t *testing.T, opts SMOptions) (*SMEndpoint, *SMEndpoint, string) {
+	t.Helper()
+	dir := t.TempDir()
+	a, err := ListenSMOptions(dir, "a", opts)
+	if err != nil {
+		t.Fatalf("ListenSM a: %v", err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := ListenSMOptions(dir, "b", opts)
+	if err != nil {
+		t.Fatalf("ListenSM b: %v", err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return a, b, dir
+}
+
+func TestSMSendRecv(t *testing.T) {
+	a, b, _ := smPair(t, SMOptions{})
+	if err := a.Send(b.Addr(), []byte("ping")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	from, data, err := b.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if from != a.Addr() || string(data) != "ping" {
+		t.Fatalf("got %q from %q", data, from)
+	}
+	// And the reverse direction over its own ring.
+	if err := b.Send(from, []byte("pong")); err != nil {
+		t.Fatalf("reply: %v", err)
+	}
+	from, data, err = a.Recv()
+	if err != nil {
+		t.Fatalf("recv reply: %v", err)
+	}
+	if from != b.Addr() || string(data) != "pong" {
+		t.Fatalf("got reply %q from %q", data, from)
+	}
+}
+
+// TestSMRingWrapAndBackpressure pushes far more bytes than the ring holds
+// so the producer must wrap repeatedly and park on the space doorbell
+// while the consumer drains (§8 backpressure over shared memory).
+func TestSMRingWrapAndBackpressure(t *testing.T) {
+	a, b, _ := smPair(t, SMOptions{RingBytes: minRingBytes})
+	const nmsg = 400
+	errc := make(chan error, 1)
+	go func() {
+		payload := make([]byte, 777) // odd size: exercises record padding
+		for i := 0; i < nmsg; i++ {
+			payload[0] = byte(i)
+			if err := a.Send(b.Addr(), payload); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	for i := 0; i < nmsg; i++ {
+		_, data, err := b.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if len(data) != 777 || data[0] != byte(i) {
+			t.Fatalf("frame %d corrupted: len=%d first=%d", i, len(data), data[0])
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("send: %v", err)
+	}
+}
+
+func TestSMFrameTooLarge(t *testing.T) {
+	a, b, _ := smPair(t, SMOptions{RingBytes: minRingBytes})
+	big := make([]byte, a.MaxFrame()+1)
+	if err := a.Send(b.Addr(), big); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+}
+
+func TestSMNoRoute(t *testing.T) {
+	a, _, _ := smPair(t, SMOptions{})
+	if err := a.Send("tcp://127.0.0.1:1", []byte("x")); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("non-sm address: want ErrNoRoute, got %v", err)
+	}
+	if err := a.Send("sm://other-host/some/base", []byte("x")); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("foreign host: want ErrNoRoute, got %v", err)
+	}
+}
+
+// TestSMCrashedPeerSilentLoss: once a peer existed, frames to it after
+// death are lost datagrams, never errors — failure detectors, not
+// senders, notice crashes.
+func TestSMCrashedPeerSilentLoss(t *testing.T) {
+	a, b, _ := smPair(t, SMOptions{})
+	if err := a.Send(b.Addr(), []byte("warm")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if _, _, err := b.Recv(); err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	addr := b.Addr()
+	b.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := a.Send(addr, []byte("into the void")); err != nil {
+			t.Fatalf("send to dead peer: %v", err)
+		}
+		// The first send may still ride the established link before the
+		// reader notices EOF; keep sending until the re-dial path (dead
+		// socket) is what we exercised.
+		a.mu.Lock()
+		n := len(a.peers)
+		a.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("link to dead peer never torn down")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := a.Send(addr, []byte("still void")); err != nil {
+		t.Fatalf("send after teardown: %v", err)
+	}
+}
+
+// TestSMSegmentCleanup: a clean Close leaves no segment files — ring
+// files are unlinked at handshake time, socket and arena at Close.
+func TestSMSegmentCleanup(t *testing.T) {
+	a, b, dir := smPair(t, SMOptions{})
+	if err := a.Send(b.Addr(), []byte("x")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if _, _, err := b.Recv(); err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if !a.ExposeLocal(1, []byte("bulk bytes")) {
+		t.Fatal("ExposeLocal failed")
+	}
+	var dst [10]byte
+	if done, err := b.PullLocal(a.Addr(), 1, 0, dst[:]); !done || err != nil {
+		t.Fatalf("PullLocal: done=%v err=%v", done, err)
+	}
+	a.Close()
+	b.Close()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("readdir: %v", err)
+	}
+	for _, e := range ents {
+		t.Errorf("orphaned segment file after Close: %s", e.Name())
+	}
+}
+
+func TestSMLocalBulk(t *testing.T) {
+	a, b, _ := smPair(t, SMOptions{})
+	payload := make([]byte, 64<<10)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	if !a.ExposeLocal(42, payload) {
+		t.Fatal("ExposeLocal failed")
+	}
+	// Full pull.
+	dst := make([]byte, len(payload))
+	if done, err := b.PullLocal(a.Addr(), 42, 0, dst); !done || err != nil {
+		t.Fatalf("full pull: done=%v err=%v", done, err)
+	}
+	if !bytes.Equal(dst, payload) {
+		t.Fatal("full pull bytes differ")
+	}
+	// Ranged pull.
+	sub := make([]byte, 1000)
+	if done, err := b.PullLocal(a.Addr(), 42, 5000, sub); !done || err != nil {
+		t.Fatalf("ranged pull: done=%v err=%v", done, err)
+	}
+	if !bytes.Equal(sub, payload[5000:6000]) {
+		t.Fatal("ranged pull bytes differ")
+	}
+	// Out-of-bounds range must decline (RPC path is authoritative).
+	if done, _ := b.PullLocal(a.Addr(), 42, len(payload)-10, make([]byte, 20)); done {
+		t.Fatal("out-of-bounds pull should fall back")
+	}
+	// Unknown id declines.
+	if done, _ := b.PullLocal(a.Addr(), 999, 0, dst); done {
+		t.Fatal("unknown id should fall back")
+	}
+	// After release the slot is withdrawn.
+	a.ReleaseLocal(42)
+	if done, _ := b.PullLocal(a.Addr(), 42, 0, dst); done {
+		t.Fatal("released region should fall back")
+	}
+	// Slot reuse after release: a new id landing on the same slot works.
+	nslots := uint64(a.opts.ArenaSlots)
+	if !a.ExposeLocal(42+nslots, payload[:100]) {
+		t.Fatal("re-expose on same slot failed")
+	}
+	small := make([]byte, 100)
+	if done, err := b.PullLocal(a.Addr(), 42+nslots, 0, small); !done || err != nil {
+		t.Fatalf("pull after slot reuse: done=%v err=%v", done, err)
+	}
+	a.ReleaseLocal(42 + nslots)
+}
+
+// TestSMLocalBulkSlotCollision: two live ids on the same table slot — the
+// second expose must decline so pulls for it use the RPC path, and must
+// never corrupt the first.
+func TestSMLocalBulkSlotCollision(t *testing.T) {
+	a, b, _ := smPair(t, SMOptions{ArenaSlots: 8})
+	if !a.ExposeLocal(3, []byte("first")) {
+		t.Fatal("first expose failed")
+	}
+	if a.ExposeLocal(3+8, []byte("second")) {
+		t.Fatal("colliding expose should decline")
+	}
+	dst := make([]byte, 5)
+	if done, err := b.PullLocal(a.Addr(), 3, 0, dst); !done || err != nil || string(dst) != "first" {
+		t.Fatalf("first region damaged: done=%v err=%v dst=%q", done, err, dst)
+	}
+	a.ReleaseLocal(3)
+}
+
+// TestSMArenaExhaustion: filling the arena declines further exposes and
+// releases make the space reusable (first-fit with coalescing).
+func TestSMArenaExhaustion(t *testing.T) {
+	a, _, _ := smPair(t, SMOptions{ArenaBytes: 1 << 20, ArenaSlots: 64})
+	big := make([]byte, 600<<10)
+	if !a.ExposeLocal(1, big) {
+		t.Fatal("first expose failed")
+	}
+	if a.ExposeLocal(2, big) {
+		t.Fatal("arena-full expose should decline")
+	}
+	a.ReleaseLocal(1)
+	if !a.ExposeLocal(2, big) {
+		t.Fatal("expose after release failed")
+	}
+	a.ReleaseLocal(2)
+}
+
+func TestSMFaultPlanDropAndDelay(t *testing.T) {
+	a, b, _ := smPair(t, SMOptions{})
+	plan := NewFaultPlan(1)
+	plan.Add(FaultRule{Nth: 1, Count: 1, Drop: true})
+	a.SetFaultPlan(plan)
+	if err := a.Send(b.Addr(), []byte("dropped")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if err := a.Send(b.Addr(), []byte("arrives")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	_, data, err := b.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if string(data) != "arrives" {
+		t.Fatalf("dropped frame leaked through: got %q", data)
+	}
+	a.SetFaultPlan(nil)
+}
+
+// TestSMQueueDepthGauge: the receive queue reports depth and high-water
+// through obs and drains back to zero once consumed.
+func TestSMQueueDepthGauge(t *testing.T) {
+	a, b, _ := smPair(t, SMOptions{})
+	reg := obs.NewRegistry()
+	b.SetObserver(reg)
+	g := reg.Gauge("na.queue.depth", "transport", "sm")
+	for i := 0; i < 5; i++ {
+		if err := a.Send(b.Addr(), []byte("x")); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Value() < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth never reached 5 (now %d)", g.Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, err := b.Recv(); err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+	}
+	if g.Value() != 0 {
+		t.Fatalf("queue depth did not drain: %d", g.Value())
+	}
+	if g.Max() < 5 {
+		t.Fatalf("high-water mark lost: %d", g.Max())
+	}
+}
+
+// TestSMObsCounters: frames and zero-copy pulls show up under na.shm.*.
+func TestSMObsCounters(t *testing.T) {
+	a, b, _ := smPair(t, SMOptions{})
+	regA, regB := obs.NewRegistry(), obs.NewRegistry()
+	a.SetObserver(regA)
+	b.SetObserver(regB)
+	if err := a.Send(b.Addr(), []byte("count me")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if _, _, err := b.Recv(); err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if got := regA.Counter("na.shm.frames.tx").Value(); got != 1 {
+		t.Fatalf("frames.tx = %d, want 1", got)
+	}
+	if got := regB.Counter("na.shm.frames.rx").Value(); got != 1 {
+		t.Fatalf("frames.rx = %d, want 1", got)
+	}
+	if !a.ExposeLocal(7, []byte("bulk")) {
+		t.Fatal("expose failed")
+	}
+	if got := regA.Gauge("na.shm.mapped.bytes").Value(); got != 4 {
+		t.Fatalf("mapped.bytes = %d, want 4", got)
+	}
+	var dst [4]byte
+	if done, _ := b.PullLocal(a.Addr(), 7, 0, dst[:]); !done {
+		t.Fatal("pull failed")
+	}
+	if got := regB.Counter("na.shm.pull.local").Value(); got != 1 {
+		t.Fatalf("pull.local = %d, want 1", got)
+	}
+	a.ReleaseLocal(7)
+	if got := regA.Gauge("na.shm.mapped.bytes").Value(); got != 0 {
+		t.Fatalf("mapped.bytes after release = %d, want 0", got)
+	}
+}
+
+// TestRingRecordRoundtrip drives tryWrite/read through enough frames of
+// varied sizes to cross the wrap marker path many times.
+func TestRingRecordRoundtrip(t *testing.T) {
+	seg := make([]byte, ringHdrBytes+minRingBytes)
+	w := ringInit(seg, minRingBytes)
+	r, err := ringAttach(seg)
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	next := 0
+	emit := 0
+	for emit < 5000 {
+		payload := make([]byte, (emit*37)%1500)
+		for i := range payload {
+			payload[i] = byte(emit)
+		}
+		if w.tryWrite(payload) {
+			emit++
+			continue
+		}
+		// Full: drain one and retry.
+		data, ok, err := r.read()
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if !ok {
+			t.Fatal("ring full but empty?")
+		}
+		verifyFrame(t, data, next)
+		next++
+	}
+	for {
+		data, ok, err := r.read()
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		if !ok {
+			break
+		}
+		verifyFrame(t, data, next)
+		next++
+	}
+	if next != emit {
+		t.Fatalf("read %d of %d frames", next, emit)
+	}
+}
+
+func verifyFrame(t *testing.T, data []byte, idx int) {
+	t.Helper()
+	if len(data) != (idx*37)%1500 {
+		t.Fatalf("frame %d: len %d want %d", idx, len(data), (idx*37)%1500)
+	}
+	for i, v := range data {
+		if v != byte(idx) {
+			t.Fatalf("frame %d byte %d: got %d", idx, i, v)
+		}
+	}
+}
+
+func TestDecodeSMHandshakeRoundtrip(t *testing.T) {
+	in := smHandshake{ringBytes: 1 << 20, addr: "sm://host/x/y", path: "/tmp/x.ring"}
+	out, err := decodeSMHandshake(encodeSMHandshake(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out != in {
+		t.Fatalf("roundtrip mismatch: %+v != %+v", out, in)
+	}
+	// A relative ring path must be rejected.
+	bad := in
+	bad.path = "relative.ring"
+	if _, err := decodeSMHandshake(encodeSMHandshake(bad)); err == nil {
+		t.Fatal("relative path accepted")
+	}
+}
+
+func TestSMSocketPathTooLong(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "a-very-long-intermediate-directory-name-to-overflow")
+	name := fmt.Sprintf("%0100d", 7)
+	if _, err := ListenSM(dir, name); err == nil {
+		t.Fatal("oversized socket path accepted")
+	}
+}
+
+// TestSMStaleSegmentGC: a SIGKILL'd endpoint owner cannot unlink its own
+// files, so the next listen in the same directory garbage-collects
+// auto-named segments of dead pids — and leaves live owners' files alone.
+func TestSMStaleSegmentGC(t *testing.T) {
+	dir := t.TempDir()
+	cmd := exec.Command("true")
+	if err := cmd.Run(); err != nil {
+		t.Skipf("no /bin/true: %v", err)
+	}
+	deadPid := cmd.Process.Pid
+	stale := filepath.Join(dir, fmt.Sprintf("ep-%d-1.sock", deadPid))
+	if err := os.WriteFile(stale, nil, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	keep := filepath.Join(dir, "custom-name.sock")
+	if err := os.WriteFile(keep, nil, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := ListenSM(dir, "gc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale segment %s survived GC (err=%v)", stale, err)
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Errorf("custom-named segment was GC'd: %v", err)
+	}
+}

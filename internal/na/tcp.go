@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"colza/internal/bufpool"
+	"colza/internal/obs"
 )
 
 // maxFrame bounds a single TCP message frame (64 MiB), protecting the
@@ -28,6 +29,10 @@ const defaultTCPWriteTimeout = 10 * time.Second
 // its address is "tcp://" + the actual listen address. Frames carry the
 // sender's address so replies can be routed without handshakes.
 func ListenTCP(hostport string) (Endpoint, error) {
+	return listenTCP(hostport)
+}
+
+func listenTCP(hostport string) (*tcpEP, error) {
 	l, err := net.Listen("tcp", hostport)
 	if err != nil {
 		return nil, fmt.Errorf("na: listen: %w", err)
@@ -40,6 +45,7 @@ func ListenTCP(hostport string) (Endpoint, error) {
 		accepted:     make(map[net.Conn]struct{}),
 		writeTimeout: defaultTCPWriteTimeout,
 	}
+	ep.advertise = ep.addr
 	go ep.acceptLoop()
 	return ep, nil
 }
@@ -50,10 +56,26 @@ type tcpEP struct {
 	q            *pktQueue
 	writeTimeout time.Duration
 
+	// advertise is the sender address stamped on outgoing frames. A dual
+	// endpoint overrides it with its composite address so replies carry
+	// both components and the responder can route per-link again.
+	advertise string
+
 	mu       sync.Mutex
 	conns    map[string]*tcpConn   // outbound dials, keyed by peer address
 	accepted map[net.Conn]struct{} // inbound conns owned by readLoops
 	closed   bool
+}
+
+// setQueue shares an external receive queue and setAdvertise overrides the
+// stamped sender address (dual endpoint plumbing; before any traffic).
+func (e *tcpEP) setQueue(q *pktQueue)     { e.q = q }
+func (e *tcpEP) setAdvertise(addr string) { e.advertise = addr }
+func (e *tcpEP) SetObserver(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	e.q.setDepthGauge(r.Gauge("na.queue.depth", "transport", "tcp"))
 }
 
 type tcpConn struct {
@@ -137,6 +159,11 @@ func (e *tcpEP) Send(to string, data []byte) error {
 	if len(data) > maxFrame {
 		return ErrTooLarge
 	}
+	// Accept composite sm+tcp addresses too: a pure-TCP endpoint simply
+	// uses the tcp component (the sm one is useless to it anyway).
+	if _, tcpPart := SplitAddr(to); tcpPart != "" {
+		to = tcpPart
+	}
 	hostport := strings.TrimPrefix(to, "tcp://")
 	if hostport == to {
 		return fmt.Errorf("%w: %s (not a tcp address)", ErrNoRoute, to)
@@ -155,7 +182,7 @@ func (e *tcpEP) Send(to string, data []byte) error {
 	if e.writeTimeout > 0 {
 		conn.c.SetWriteDeadline(time.Now().Add(e.writeTimeout))
 	}
-	err = writeFrame(conn.c, e.addr, data)
+	err = writeFrame(conn.c, e.advertise, data)
 	conn.mu.Unlock()
 	if err != nil {
 		// Covers write timeouts too: the stalled conn is discarded so the
